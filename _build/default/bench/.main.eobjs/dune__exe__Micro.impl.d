@@ -1,0 +1,1 @@
+bench/micro.ml: Action Analyze Bechamel Benchmark Bignat Bisim Bits Cdse Cdse_gen Dist Hashtbl Int List Measure Pretty Printf Psioa Rat Scheduler Staged Stat String Test Time Toolkit Value

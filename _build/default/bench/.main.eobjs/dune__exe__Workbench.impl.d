@@ -1,0 +1,1 @@
+bench/workbench.ml: List Printf String Sys

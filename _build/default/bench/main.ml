@@ -1,0 +1,18 @@
+(* Benchmark & experiment harness.
+
+     dune exec bench/main.exe            — run every experiment + micro suite
+     dune exec bench/main.exe -- E3 E6   — run selected experiments
+     dune exec bench/main.exe -- micro   — micro-benchmarks only
+
+   Each experiment regenerates one table of EXPERIMENTS.md; checks on the
+   theorem-predicted shapes are enforced (non-zero exit on violation). *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run_micro = args = [] || List.mem "micro" args in
+  let selected name = args = [] || List.mem name args in
+  print_endline "cdse experiment harness — composable dynamic secure emulation";
+  print_endline "(paper: brief announcement, no tables/figures; experiments per DESIGN.md §5)";
+  List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
+  if run_micro then Micro.run ();
+  Workbench.summary ()

@@ -1,0 +1,60 @@
+(* Bechamel micro-benchmarks for the substrate operations: one Test.make
+   per primitive, run under the monotonic clock with OLS estimation. *)
+
+open Bechamel
+open Cdse
+
+let dist_pair =
+  let mk off = Dist.make ~compare:Int.compare (List.init 16 (fun i -> (i + off, Rat.of_ints 1 16))) in
+  (mk 0, mk 4)
+
+let tests =
+  let bits_a = Bits.of_string (String.concat "" (List.init 32 (fun i -> if i mod 3 = 0 then "1" else "0"))) in
+  let big = Bignat.pow (Bignat.of_int 12345) 20 in
+  let rat_a = Rat.of_ints 355 113 and rat_b = Rat.of_ints 22 7 in
+  let value =
+    Value.list (List.init 8 (fun i -> Value.pair (Value.int i) (Value.str "payload")))
+  in
+  let coin = Cdse_gen.Workloads.coin "c" in
+  let sched = Scheduler.bounded 2 (Scheduler.first_enabled coin) in
+  let da, db = dist_pair in
+  [ Test.make ~name:"bits.append" (Staged.stage (fun () -> Bits.append bits_a bits_a));
+    Test.make ~name:"bignat.mul" (Staged.stage (fun () -> Bignat.mul big big));
+    Test.make ~name:"bignat.divmod" (Staged.stage (fun () -> Bignat.divmod big (Bignat.of_int 997)));
+    Test.make ~name:"rat.add" (Staged.stage (fun () -> Rat.add rat_a rat_b));
+    Test.make ~name:"value.to_bits" (Staged.stage (fun () -> Value.to_bits value));
+    Test.make ~name:"value.of_bits" (let bits = Value.to_bits value in Staged.stage (fun () -> Value.of_bits bits));
+    Test.make ~name:"dist.product" (Staged.stage (fun () -> Dist.product da db));
+    Test.make ~name:"stat.distance" (Staged.stage (fun () -> Stat.sup_set_distance da db));
+    Test.make ~name:"psioa.step" (Staged.stage (fun () -> Psioa.step coin (Psioa.start coin) (Action.make "c.flip")));
+    Test.make ~name:"measure.exec_dist" (Staged.stage (fun () -> Measure.exec_dist coin sched ~depth:3));
+    Test.make ~name:"bisim.coin" (Staged.stage (fun () -> Bisim.bisimilar coin coin));
+    Test.make ~name:"measure.reach_prob"
+      (let walk = Cdse_gen.Workloads.random_walk ~span:4 "w" in
+       let wsched = Scheduler.bounded 4 (Scheduler.first_enabled walk) in
+       Staged.stage (fun () ->
+           Measure.reach_prob walk wsched ~depth:4 ~pred:(fun q ->
+               Value.equal q (Value.tag "walk" (Value.int 4))))) ]
+
+let run () =
+  Pretty.section "Micro-benchmarks (bechamel, ns/op)";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"micro" ~fmt:"%s/%s" tests) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        let est =
+          match Analyze.OLS.estimates res with
+          | Some (e :: _) -> Printf.sprintf "%.1f" e
+          | _ -> "n/a"
+        in
+        [ name; est ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Pretty.table ~header:[ "operation"; "ns/op" ] rows

@@ -1,0 +1,23 @@
+(** Shared helpers for the experiment harness. *)
+
+let time_it f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+let ms t = Printf.sprintf "%.2f" (t *. 1000.)
+
+let verdict ok = if ok then "PASS" else "FAIL"
+
+let failures = ref []
+
+let record_check ~experiment ok =
+  if not ok then failures := experiment :: !failures;
+  ok
+
+let summary () =
+  match !failures with
+  | [] -> print_endline "\nAll experiment checks passed."
+  | fs ->
+      Printf.printf "\nFAILED experiments: %s\n" (String.concat ", " (List.rev fs));
+      exit 1

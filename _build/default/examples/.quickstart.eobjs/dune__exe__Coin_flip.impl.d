@@ -1,0 +1,1 @@
+examples/coin_flip.ml: Cdse Coin_flip Compose Dist Emulation Format Impl Insight Pretty Rat Scheduler Schema Value

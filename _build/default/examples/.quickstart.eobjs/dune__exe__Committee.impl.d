@@ -1,0 +1,1 @@
+examples/committee.ml: Action Cdse Committee Dist Exec Format List Measure Pca Pretty Psioa Scheduler String

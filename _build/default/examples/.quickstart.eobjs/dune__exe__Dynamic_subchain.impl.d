@@ -1,0 +1,1 @@
+examples/dynamic_subchain.ml: Action Cdse Dist Dynamic_system Exec Format List Manager Measure Pca Pretty Psioa Rat Rng Scheduler String Subchain

@@ -1,0 +1,1 @@
+examples/families.ml: Broadcast Cdse Emulation Format Impl Insight List Monotone Negligible Pca Poly Pretty Rat Scheduler Schema

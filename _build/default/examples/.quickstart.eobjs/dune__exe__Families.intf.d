@@ -1,0 +1,1 @@
+examples/families.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Action_set Cdse Compose Dist Exec Format Impl Insight List Measure Pretty Psioa Rat Scheduler Schema Sigs String Value Vdist

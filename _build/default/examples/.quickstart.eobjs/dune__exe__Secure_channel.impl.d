@@ -1,0 +1,1 @@
+examples/secure_channel.ml: Cdse Compose Dist Dummy Emulation Format Impl Insight Pretty Rat Scheduler Schema Secure_channel Structured Value

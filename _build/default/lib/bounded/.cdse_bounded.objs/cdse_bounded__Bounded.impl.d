@@ -1,0 +1,1 @@
+lib/bounded/bounded.ml: Action_set Bits Cdse_config Cdse_prob Cdse_psioa Cdse_util Dist Encode List Machines Psioa Rng

@@ -1,0 +1,1 @@
+lib/bounded/bounded.mli: Cdse_config Cdse_psioa Psioa

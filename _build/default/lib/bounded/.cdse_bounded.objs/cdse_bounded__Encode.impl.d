@@ -1,0 +1,1 @@
+lib/bounded/encode.ml: Action Action_set Bits Cdse_config Cdse_prob Cdse_psioa Cdse_util Dist List Rat Sigs Value

@@ -1,0 +1,1 @@
+lib/bounded/encode.mli: Action Action_set Cdse_config Cdse_prob Cdse_psioa Cdse_util Dist Sigs Value

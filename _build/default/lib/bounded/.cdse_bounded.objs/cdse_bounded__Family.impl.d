@@ -1,0 +1,1 @@
+lib/bounded/family.ml: Bounded Cdse_psioa Cdse_util Compose List

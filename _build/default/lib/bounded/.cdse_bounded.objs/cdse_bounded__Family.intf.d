@@ -1,0 +1,1 @@
+lib/bounded/family.mli: Cdse_psioa Cdse_util Psioa

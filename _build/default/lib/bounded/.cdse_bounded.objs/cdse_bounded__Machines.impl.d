@@ -1,0 +1,1 @@
+lib/bounded/machines.ml: Action Action_set Bits Cdse_config Cdse_prob Cdse_psioa Cdse_util Cost Dist Encode List Psioa Rat Sigs Value

@@ -1,0 +1,1 @@
+lib/bounded/machines.mli: Cdse_config Cdse_prob Cdse_psioa Cdse_util Psioa Rng

@@ -1,0 +1,1 @@
+lib/bounded/negligible.ml: Cdse_prob Cdse_util List Rat

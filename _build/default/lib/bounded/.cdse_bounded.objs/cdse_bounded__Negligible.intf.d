@@ -1,0 +1,1 @@
+lib/bounded/negligible.mli: Cdse_prob Cdse_util Rat

@@ -1,0 +1,33 @@
+open Cdse_psioa
+
+type 'a t = int -> 'a
+
+let const x _ = x
+let map f fam k = f (fam k)
+let map2 f fa fb k = f (fa k) (fb k)
+
+let compose_psioa fa fb k = Compose.pair (fa k) (fb k)
+
+let compatible_window ~window fa fb =
+  List.for_all (fun k -> Compose.partially_compatible [ fa k; fb k ]) window
+
+let time_bounded_window ~window ~bound ?max_states ?max_depth fam =
+  List.for_all (fun k -> Bounded.is_time_bounded ?max_states ?max_depth (fam k) ~b:(bound k)) window
+
+let poly_bounded_window ~window ~poly ?max_states ?max_depth fam =
+  time_bounded_window ~window ~bound:(Cdse_util.Poly.eval poly) ?max_states ?max_depth fam
+
+let fit_poly_bound ~window ~degree f =
+  (* Smallest scalar c such that c·(1 + k + … + k^degree) dominates f on
+     the window; a crude but honest dominating polynomial. *)
+  match window with
+  | [] -> None
+  | _ ->
+      let basis k =
+        let rec go acc p i = if i > degree then acc else go (acc + p) (p * k) (i + 1) in
+        go 0 1 0
+      in
+      let c =
+        List.fold_left (fun acc k -> max acc ((f k + basis k - 1) / basis k)) 1 window
+      in
+      Some (Cdse_util.Poly.scale c (Cdse_util.Poly.of_coeffs (List.init (degree + 1) (fun _ -> 1))))

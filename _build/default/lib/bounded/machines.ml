@@ -1,0 +1,110 @@
+open Cdse_util
+open Cdse_prob
+open Cdse_psioa
+
+(* Charge one meter unit per bit of input consumed or output produced —
+   the linear-in-encoding-length cost model the B.1–B.3 proofs rely on. *)
+let charge bits = Cost.tick ~n:(Bits.length bits) ()
+
+let metered f =
+  Cost.measure (fun () -> f ())
+
+let decode_value bits =
+  charge bits;
+  Value.of_bits bits
+
+let decode_action bits =
+  charge bits;
+  Action.of_bits bits
+
+let m_start a qbits =
+  metered (fun () ->
+      let q = decode_value qbits in
+      Value.equal q (Psioa.start a))
+
+let m_sig a qbits abits kind =
+  metered (fun () ->
+      let q = decode_value qbits in
+      let act = decode_action abits in
+      let s = Psioa.signature a q in
+      match kind with
+      | `Input -> Action_set.mem act (Sigs.input s)
+      | `Output -> Action_set.mem act (Sigs.output s)
+      | `Internal -> Action_set.mem act (Sigs.internal s))
+
+(* Parse a ⟨tr⟩ encoding back into (q, a, items). *)
+let parse_transition bits =
+  charge bits;
+  let r = Bits.Reader.make bits in
+  let read_chunk () =
+    let n = Bits.Reader.read_nat r in
+    Bits.Reader.read_bits n r
+  in
+  let q = Value.of_bits (read_chunk ()) in
+  let a = Action.of_bits (read_chunk ()) in
+  let size = Bits.Reader.read_nat r in
+  let items =
+    List.init size (fun _ ->
+        let q' = Value.of_bits (read_chunk ()) in
+        let pbits = read_chunk () in
+        (q', pbits))
+  in
+  (q, a, items)
+
+let m_trans a trbits =
+  metered (fun () ->
+      match parse_transition trbits with
+      | exception Invalid_argument _ -> false
+      | q, act, items -> (
+          match Psioa.transition a q act with
+          | None -> false
+          | Some eta ->
+              List.length items = Dist.size eta
+              && List.for_all2
+                   (fun (q1, pbits) (q2, p) ->
+                     Value.equal q1 q2 && Bits.equal pbits (Rat.to_bits p))
+                   items (Dist.items eta)))
+
+let m_step a trbits q'bits =
+  metered (fun () ->
+      match parse_transition trbits with
+      | exception Invalid_argument _ -> false
+      | q, act, _ -> (
+          let q' = decode_value q'bits in
+          match Psioa.transition a q act with
+          | None -> false
+          | Some eta -> List.exists (Value.equal q') (Dist.support eta)))
+
+let m_state a rng qbits abits =
+  metered (fun () ->
+      let q = decode_value qbits in
+      let act = decode_action abits in
+      let eta = Psioa.step a q act in
+      match Dist.sample rng eta with
+      | Some q' ->
+          let out = Value.to_bits q' in
+          charge out;
+          out
+      | None -> assert false (* transition measures are proper *))
+
+let m_conf pca qbits =
+  metered (fun () ->
+      let q = decode_value qbits in
+      let out = Encode.config (Cdse_config.Pca.config_of pca q) in
+      charge out;
+      out)
+
+let m_created pca qbits abits =
+  metered (fun () ->
+      let q = decode_value qbits in
+      let act = decode_action abits in
+      let out = Encode.id_list (Cdse_config.Pca.created pca q act) in
+      charge out;
+      out)
+
+let m_hidden pca qbits =
+  metered (fun () ->
+      let q = decode_value qbits in
+      let out = Encode.action_set (Cdse_config.Pca.hidden_actions pca q) in
+      charge out;
+      out)

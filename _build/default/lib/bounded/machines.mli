@@ -1,0 +1,39 @@
+(** Cost-metered decoding machines (Definition 4.1 items 2–3, Definition 4.2).
+
+    Each function plays the role of one of the paper's Turing machines
+    [M_start, M_sig, M_trans, M_step, M_state] (and [M_conf, M_created,
+    M_hidden] for PCA). The machine model is replaced by cost-metered
+    interpreters: every machine charges the {!Cdse_util.Cost} meter one unit
+    per input/output bit processed, so "runs in time at most b" becomes
+    "consumed at most b meter units" (see DESIGN.md). All machines return
+    [(answer, cost)]. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+val m_start : Psioa.t -> Cdse_util.Bits.t -> bool * int
+(** Does ⟨q⟩ denote the start state? *)
+
+val m_sig :
+  Psioa.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t -> [ `Input | `Output | `Internal ] -> bool * int
+(** Is the action denoted by the second argument in the given component of
+    [sig(A)(q)]? *)
+
+val m_trans : Psioa.t -> Cdse_util.Bits.t -> bool * int
+(** Does ⟨tr⟩ denote a transition of [A]? *)
+
+val m_step : Psioa.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t -> bool * int
+(** Given ⟨tr⟩ and a candidate ⟨q'⟩: is [(q, a, q') ∈ steps(A)]? *)
+
+val m_state : Psioa.t -> Rng.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t * int
+(** The probabilistic next-state machine: sample [q'] from [η_(A,q,a)] and
+    return its encoding. *)
+
+val m_conf : Cdse_config.Pca.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t * int
+(** ⟨config(X)(q)⟩ (Definition 4.2). *)
+
+val m_created : Cdse_config.Pca.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t * int
+(** ⟨created(X)(q)(a)⟩. *)
+
+val m_hidden : Cdse_config.Pca.t -> Cdse_util.Bits.t -> Cdse_util.Bits.t * int
+(** ⟨hidden-actions(X)(q)⟩. *)

@@ -1,0 +1,1 @@
+lib/config/config.ml: Action_set Cdse_psioa Cdse_util Format List Psioa Registry Sigs String Value

@@ -1,0 +1,1 @@
+lib/config/config.mli: Cdse_psioa Format Registry Sigs Value

@@ -1,0 +1,1 @@
+lib/config/ctrans.ml: Action_set Cdse_prob Cdse_psioa Cdse_util Config Dist List Psioa Registry Sigs String Value Vdist

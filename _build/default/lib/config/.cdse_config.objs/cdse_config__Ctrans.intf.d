@@ -1,0 +1,1 @@
+lib/config/ctrans.mli: Action Cdse_prob Cdse_psioa Config Dist Registry

@@ -1,0 +1,1 @@
+lib/config/pca.ml: Action Action_set Cdse_prob Cdse_psioa Compose Config Ctrans Dist Format Fun List Option Psioa Registry Sigs String Value

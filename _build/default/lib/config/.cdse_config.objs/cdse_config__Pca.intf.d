@@ -1,0 +1,1 @@
+lib/config/pca.mli: Action Action_set Cdse_psioa Config Psioa Registry Value

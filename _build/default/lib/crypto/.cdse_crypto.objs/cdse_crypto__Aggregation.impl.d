@@ -1,0 +1,1 @@
+lib/crypto/aggregation.ml: Action Action_set Cdse_psioa Cdse_secure List Printf Psioa Secure_channel Sigs Structured Value Vdist

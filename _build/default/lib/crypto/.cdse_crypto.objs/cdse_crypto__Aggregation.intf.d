@@ -1,0 +1,1 @@
+lib/crypto/aggregation.mli: Cdse_psioa Cdse_secure Psioa Structured

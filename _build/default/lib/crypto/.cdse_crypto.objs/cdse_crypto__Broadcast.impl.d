@@ -1,0 +1,1 @@
+lib/crypto/broadcast.ml: Action Action_set Cdse_psioa Cdse_secure Fun Int List Printf Psioa Sigs Structured Value Vdist

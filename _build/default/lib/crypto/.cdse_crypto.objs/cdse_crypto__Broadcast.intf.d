@@ -1,0 +1,1 @@
+lib/crypto/broadcast.mli: Cdse_psioa Cdse_secure Psioa Structured

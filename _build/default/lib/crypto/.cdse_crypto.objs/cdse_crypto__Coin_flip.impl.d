@@ -1,0 +1,1 @@
+lib/crypto/coin_flip.ml: Action Action_set Cdse_psioa Cdse_secure Fun Int List Primitives Printf Psioa Sigs String Structured Value Vdist

@@ -1,0 +1,1 @@
+lib/crypto/coin_flip.mli: Cdse_psioa Cdse_secure Psioa Structured

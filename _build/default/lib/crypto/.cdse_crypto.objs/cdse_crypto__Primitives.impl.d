@@ -1,0 +1,1 @@
+lib/crypto/primitives.ml: Cdse_psioa Cdse_util List Value

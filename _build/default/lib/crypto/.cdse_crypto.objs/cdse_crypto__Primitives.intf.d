@@ -1,0 +1,1 @@
+lib/crypto/primitives.mli: Cdse_psioa

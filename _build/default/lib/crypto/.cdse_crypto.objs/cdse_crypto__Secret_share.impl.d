@@ -1,0 +1,1 @@
+lib/crypto/secret_share.ml: Action Action_set Cdse_psioa Cdse_secure Dummy Fun List Primitives Psioa Secure_channel Sigs Structured Value Vdist

@@ -1,0 +1,1 @@
+lib/crypto/secret_share.mli: Cdse_psioa Cdse_secure Dummy Psioa Structured

@@ -1,0 +1,1 @@
+lib/crypto/secure_channel.ml: Action Action_set Cdse_psioa Cdse_secure Dummy Fun List Option Primitives Psioa Sigs Structured Value Vdist

@@ -1,0 +1,1 @@
+lib/crypto/secure_channel.mli: Action Cdse_psioa Cdse_secure Dummy Psioa Structured

@@ -1,0 +1,38 @@
+(** Private XOR aggregation — n-party secure computation of [⊕ᵢ xᵢ].
+
+    Each party masks its input bit with a fresh private pad before
+    publishing; the adversary observes only the masked values (each
+    individually uniform) while the environment learns exactly the XOR of
+    all inputs. The ideal functionality leaks nothing but the aggregation
+    event. The "secure distributed computation" motif of the paper's
+    abstract, as a family indexed by the number of parties.
+
+    Interfaces for instance [n] with [parties] participants:
+    - environment: [n.in_i(x)] (EI, one per party), [n.sum(x)] (EO);
+    - adversary: [n.m_i(v)] (AO: the masked publications), [n.leak] (AO,
+      ideal), [n.release] (AI); its report: [n.guess(v)].
+
+    The [unmasked] variant publishes the raw inputs — the falsification
+    fixture: the adversary's guess then reveals party 0's input exactly. *)
+
+open Cdse_psioa
+open Cdse_secure
+
+val real : parties:int -> string -> Structured.t
+val unmasked : parties:int -> string -> Structured.t
+val ideal : parties:int -> string -> Structured.t
+
+val adversary : string -> Psioa.t
+(** Observes party 0's masked publication, reports it as a guess of
+    [x₀], releases. *)
+
+val simulator : string -> Psioa.t
+
+val env_guess : parties:int -> inputs:int list -> string -> Psioa.t
+(** Feeds the given input bits and accepts iff the adversary's guess
+    equals [x₀] — the privacy game (probability exactly 1/2 in both the
+    masked real world and the ideal world). *)
+
+val env_sum : parties:int -> inputs:int list -> string -> Psioa.t
+(** Feeds the inputs and accepts iff the announced sum equals [⊕ᵢ xᵢ] —
+    the correctness game (probability 1 in both worlds). *)

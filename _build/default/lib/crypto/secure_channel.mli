@@ -1,0 +1,106 @@
+(** Secure message transmission: real protocol vs ideal functionality.
+
+    The flagship Section 4.9 example. The {e real} protocol encrypts with a
+    one-time pad and hands the ciphertext to the adversary, who controls
+    delivery (and may tell the environment anything it learnt). The
+    {e ideal} functionality leaks only that a message was sent. The
+    {e simulator} turns an attack on the ideal world into the same
+    observations by faking a uniformly random ciphertext — exact (ε = 0)
+    because the pad is information-theoretically secure.
+
+    Interfaces for an instance named [n] over [width]-bit messages:
+    - environment: [n.send(m)] (EI), [n.recv(m)] (EO);
+    - adversary: [n.ct(c)] (AO, real), [n.leak] (AO, ideal), [n.deliver]
+      (AI);
+    - the adversary's own report to the environment: [n.guess(c)].
+
+    A {e leaky} variant ships the plaintext as "ciphertext" — the
+    falsification fixture: emulation must fail against the guessing
+    environment. *)
+
+open Cdse_psioa
+open Cdse_secure
+
+val real : ?width:int -> string -> Structured.t
+(** OTP-encrypting real protocol. *)
+
+val real_leaky : ?width:int -> string -> Structured.t
+(** Broken real protocol: the "ciphertext" is the plaintext. *)
+
+val real_weak : ?width:int -> string -> Structured.t
+(** Slightly-broken pad: the zero key is never drawn, so the
+    plaintext-equal ciphertext never occurs. The emulation slack against
+    {!ideal} is exactly [1/2^width] — nonzero but negligible in the width:
+    the canonical ε > 0 instance of the approximate relation, and a
+    family with [ε(k) = 2^{-k}] when indexed by width. *)
+
+val ideal : ?width:int -> string -> Structured.t
+(** The ideal functionality: leaks only message presence. *)
+
+val adversary : ?width:int -> ?rename:(string -> string) -> string -> Psioa.t
+(** Ciphertext-observing adversary for the real protocol: records the
+    ciphertext, reports it to the environment via [guess], and delivers.
+    [rename] is applied to the {e protocol-facing} adversary actions
+    ([ct]/[deliver]) — used when attaching it behind a dummy renaming. *)
+
+val simulator : ?width:int -> ?rename:(string -> string) -> string -> Psioa.t
+(** Simulator for {!ideal} matching {!adversary}: on [leak], draws a
+    uniform fake ciphertext, reports it as [guess], and delivers. *)
+
+val dsim : ?width:int -> g:Dummy.renaming -> string -> Psioa.t
+(** The dummy-adversary simulator used by the Theorem 4.30 construction:
+    on the ideal [leak], fakes a ciphertext and republishes it on the
+    renamed interface [g(n.ct(c))]; accepts [g(n.deliver)] and forwards it
+    into the functionality. *)
+
+(** {2 Reusable attack-surface skeletons}
+
+    The "observe a value, report it to the environment, acknowledge to the
+    protocol" pattern recurs across protocols (secret sharing reuses it
+    verbatim). Both skeletons stay permanently receptive and re-arm on
+    fresh observations — required by the pointwise Definition 4.24
+    conditions (see the implementation comments). *)
+
+val reporter :
+  name:string ->
+  inputs:Action.t list ->
+  on_input:(Action.t -> int option) ->
+  guess:(int -> Action.t) ->
+  deliver_act:Action.t ->
+  Psioa.t
+(** Adversary skeleton: on an observed value [v] (decoded by [on_input]),
+    owes one [guess v] report and one [deliver_act] acknowledgement. *)
+
+val simulator_with :
+  name:string ->
+  leak:Action.t ->
+  guess_name:string ->
+  deliver_act:Action.t ->
+  width:int ->
+  Psioa.t
+(** Simulator skeleton: on [leak], draws a uniform [width]-bit fake value
+    and behaves like {!reporter} with it. *)
+
+val env_completion : ?width:int -> msg:int -> string -> Psioa.t
+(** Functional environment: sends [msg], accepts when it is delivered. *)
+
+val env_guess : ?width:int -> msg:int -> string -> Psioa.t
+(** Distinguishing environment: sends [msg] and accepts iff the adversary's
+    [guess] equals the plaintext — the secrecy game. *)
+
+(** {2 Multi-round sessions}
+
+    A second family axis: [rounds] sequential transmissions, each with a
+    fresh one-time pad. Per-round pads are independent, so the session
+    emulates the ideal session with slack exactly 0 at every (width,
+    rounds) index — composability over time, checked directly. The
+    single-shot {!adversary} and {!simulator} already re-arm on fresh
+    ciphertexts/leaks and work unchanged for sessions. *)
+
+val session_real : ?width:int -> rounds:int -> string -> Structured.t
+val session_ideal : ?width:int -> rounds:int -> string -> Structured.t
+
+val env_session : ?width:int -> rounds:int -> msg:int -> string -> Psioa.t
+(** Sends [msg] each round; accepts iff the adversary's guess equals the
+    plaintext in {e every} round (success [2^{-width·rounds}] in both
+    worlds). *)

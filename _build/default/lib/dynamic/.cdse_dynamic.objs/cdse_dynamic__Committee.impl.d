@@ -1,0 +1,1 @@
+lib/dynamic/committee.ml: Action Action_set Astring Cdse_config Cdse_psioa Cdse_secure Config Fun Int List Pca Printf Psioa Registry Sigs String Value Vdist

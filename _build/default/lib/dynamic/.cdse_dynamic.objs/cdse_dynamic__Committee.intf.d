@@ -1,0 +1,1 @@
+lib/dynamic/committee.mli: Action Cdse_config Cdse_psioa Cdse_secure Pca Psioa Value

@@ -1,0 +1,1 @@
+lib/dynamic/ledger.ml: Action Action_set Cdse_psioa Fun List Psioa Sigs String Subchain Value Vdist

@@ -1,0 +1,1 @@
+lib/dynamic/ledger.mli: Action Cdse_psioa Psioa Value

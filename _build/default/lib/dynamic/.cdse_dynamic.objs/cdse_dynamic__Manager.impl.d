@@ -1,0 +1,1 @@
+lib/dynamic/manager.ml: Action Action_set Cdse_psioa Psioa Sigs Value Vdist

@@ -1,0 +1,1 @@
+lib/dynamic/manager.mli: Action Cdse_psioa Psioa Value

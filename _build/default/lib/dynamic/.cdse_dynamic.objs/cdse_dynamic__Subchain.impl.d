@@ -1,0 +1,1 @@
+lib/dynamic/subchain.ml: Action Action_set Cdse_psioa List Printf Psioa Sigs Value Vdist

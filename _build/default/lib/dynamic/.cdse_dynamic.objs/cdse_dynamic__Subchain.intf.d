@@ -1,0 +1,1 @@
+lib/dynamic/subchain.mli: Action Cdse_psioa Psioa

@@ -1,0 +1,1 @@
+lib/dynamic/system.ml: Action Action_set Cdse_config Cdse_prob Cdse_psioa Config Dist Ledger List Manager Option Pca Psioa Registry Rng Scanf Sigs String Subchain

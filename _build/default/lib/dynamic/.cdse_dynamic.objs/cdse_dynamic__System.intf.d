@@ -1,0 +1,1 @@
+lib/dynamic/system.mli: Cdse_config Cdse_prob Cdse_psioa Pca Rng Value

@@ -1,0 +1,70 @@
+(** Dynamically reconfigurable voting committee — the paper's blockchain
+    motivation as a PCA.
+
+    A chair manages a committee of validator automata that are created
+    ([add]) and destroyed ([retire]) at run time. Blocks are submitted by
+    the environment; the chair broadcasts a proposal, the {e currently
+    alive} validators vote (in adversary-chosen order), and the chair
+    commits once every member has voted. This is the replicated-state-
+    machine shape the introduction motivates, with dynamic membership
+    exercising configuration creation/destruction (Definitions 2.12/2.14).
+
+    Interface of instance [n] with validator budget [max_validators] over
+    blocks [0..blocks-1]:
+    - environment: [n.submit(b)] (EI), [n.commit(b)] (EO);
+    - scheduling surface: [n.add_i], [n.retire_i], [n.propose(b)],
+      [n.vote_i(b)] (all locally controlled: the scheduler interleaves
+      them). *)
+
+open Cdse_psioa
+open Cdse_config
+
+val submit : string -> int -> Action.t
+val commit : string -> int -> Action.t
+val add : string -> int -> Action.t
+val retire : string -> int -> Action.t
+val propose : string -> int -> Action.t
+val vote : string -> int -> int -> Action.t
+(** [vote n i b]: validator [i] votes for block [b]. *)
+
+val validator_name : string -> int -> string
+
+val crash : string -> int -> Action.t
+(** [crash n i]: validator [i] fails (destroyed without the chair's
+    knowledge) — a free input the fault model injects. *)
+
+val build : ?max_validators:int -> ?blocks:int -> ?quorum:[ `All | `At_least of int ] -> string -> Pca.t
+(** The committee PCA: chair + dynamically created validators. The chair
+    only reconfigures while idle, so a proposal always reaches a stable
+    membership. [quorum] selects unanimity (default) or a crash-tolerant
+    threshold: with [`At_least t] a block commits once [t] votes arrive,
+    even if other validators crashed mid-round. *)
+
+val members : Pca.t -> Value.t -> int list
+(** Validator indices the chair currently counts as members. *)
+
+val committed : Pca.t -> Value.t -> int list
+(** Blocks committed so far (in order), read off the chair's state. *)
+
+val collecting : Pca.t -> Value.t -> (int * int list) option
+(** While a proposal is in flight: the block and the votes collected so
+    far. Used to state the safety property "commit enabled ⟹ every member
+    voted" externally. *)
+
+(** {2 Secure emulation of the atomic functionality}
+
+    The committee PCA, structured (Definitions 4.20–4.22): [submit] and
+    [commit] are environment actions; adds, retires, proposals and votes
+    are the adversary-visible scheduling surface. The {e ideal}
+    functionality commits atomically. This is the [(resp. PCA)] half of
+    Definition 4.26 exercised on a genuinely dynamic system. *)
+
+val structured : Pca.t -> string -> Cdse_secure.Structured.t
+(** Structured view of a committee PCA for instance name [n]. *)
+
+val ideal : ?blocks:int -> string -> Cdse_secure.Structured.t
+(** Atomic-commit functionality: [submit(b)] then [commit(b)], no
+    adversary surface. *)
+
+val env_commit : ?block:int -> string -> Psioa.t
+(** Environment: submits a block and accepts when it commits. *)

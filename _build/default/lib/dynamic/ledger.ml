@@ -1,0 +1,48 @@
+(** On-chain settlement ledger.
+
+    Receives [ledger.settle (i, amount)] inputs from dying subchains,
+    accumulates the total, and announces it through [ledger.report (total)]
+    after each settlement. The automaton is input-enabled on settlements at
+    every state — settlements can race with reports. *)
+
+open Cdse_psioa
+
+let settle_name = "ledger.settle"
+let report total = Action.make ~payload:(Value.int total) "ledger.report"
+
+(** Settlement universe: the finite payload set the signature advertises,
+    derived from the subchain count and maximum balance. *)
+let settle_inputs ~n_subchains ~max_total =
+  List.concat_map
+    (fun i -> List.init (max_total + 1) (fun s -> Subchain.settle i s))
+    (List.init n_subchains Fun.id)
+
+let make ~n_subchains ~max_total () =
+  let state ~total ~dirty = Value.tag "ledger" (Value.pair (Value.int total) (Value.bool dirty)) in
+  let inputs = settle_inputs ~n_subchains ~max_total in
+  let signature q =
+    match q with
+    | Value.Tag ("ledger", Value.Pair (Value.Int total, Value.Bool dirty)) ->
+        Sigs.make
+          ~input:(Action_set.of_list inputs)
+          ~output:(if dirty then Action_set.of_list [ report total ] else Action_set.empty)
+          ~internal:Action_set.empty
+    | _ -> Sigs.empty
+  in
+  let transition q a =
+    match q with
+    | Value.Tag ("ledger", Value.Pair (Value.Int total, Value.Bool dirty)) -> (
+        match Action.payload a with
+        | Value.Pair (Value.Int _, Value.Int s) when String.equal (Action.name a) settle_name ->
+            Some (Vdist.dirac (state ~total:(total + s) ~dirty:true))
+        | Value.Int t when dirty && t = total && String.equal (Action.name a) "ledger.report" ->
+            Some (Vdist.dirac (state ~total ~dirty:false))
+        | _ -> None)
+    | _ -> None
+  in
+  Psioa.make ~name:"ledger" ~start:(state ~total:0 ~dirty:false) ~signature ~transition
+
+(** Total recorded in a ledger state. *)
+let total_of = function
+  | Value.Tag ("ledger", Value.Pair (Value.Int total, _)) -> Some total
+  | _ -> None

@@ -1,0 +1,26 @@
+(** On-chain settlement ledger.
+
+    The static member of the dynamic subchain system: receives
+    [ledger.settle (i, amount)] inputs from dying subchains, accumulates
+    the total, and announces it via [ledger.report (total)] after each
+    settlement. Input-enabled on settlements at every state, so
+    settlements may race with reports. *)
+
+open Cdse_psioa
+
+val settle_name : string
+(** The settlement action name ("ledger.settle"). *)
+
+val report : int -> Action.t
+(** [report total] — the announcement output. *)
+
+val settle_inputs : n_subchains:int -> max_total:int -> Action.t list
+(** The finite settlement payload universe the signature advertises:
+    [(i, s)] for [i < n_subchains], [s ≤ max_total]. Settlements outside
+    this universe fire as free outputs and are not recorded (callers size
+    [max_total] to dominate reachable balances). *)
+
+val make : n_subchains:int -> max_total:int -> unit -> Psioa.t
+
+val total_of : Value.t -> int option
+(** The recorded total of a ledger state. *)

@@ -1,0 +1,30 @@
+(** Subchain manager: opens subchains at run time.
+
+    Each [mgr.open] output is mapped, at the PCA level, to the creation of
+    the next subchain automaton (Definition 2.14's φ). *)
+
+open Cdse_psioa
+
+let open_action = Action.make "mgr.open"
+
+let make ~max_open () =
+  let state k = Value.tag "mgr" (Value.int k) in
+  let signature q =
+    match q with
+    | Value.Tag ("mgr", Value.Int k) when k < max_open ->
+        Sigs.make ~input:Action_set.empty
+          ~output:(Action_set.of_list [ open_action ])
+          ~internal:Action_set.empty
+    | _ -> Sigs.empty
+  in
+  let transition q a =
+    match q with
+    | Value.Tag ("mgr", Value.Int k) when k < max_open && Action.equal a open_action ->
+        Some (Vdist.dirac (state (k + 1)))
+    | _ -> None
+  in
+  Psioa.make ~name:"mgr" ~start:(state 0) ~signature ~transition
+
+let opened = function
+  | Value.Tag ("mgr", Value.Int k) -> Some k
+  | _ -> None

@@ -1,0 +1,15 @@
+(** Subchain manager: the creating member of the dynamic system.
+
+    Each [mgr.open] output is mapped at the PCA level to the creation of
+    the next subchain (the φ of Definition 2.14). When its budget is
+    exhausted its signature becomes empty and configuration reduction
+    (Definition 2.12) destroys it. *)
+
+open Cdse_psioa
+
+val open_action : Action.t
+
+val make : max_open:int -> unit -> Psioa.t
+
+val opened : Value.t -> int option
+(** How many subchains a manager state has opened. *)

@@ -1,0 +1,27 @@
+(** Off-chain subchannels ("subchains") — the dynamic workload of the
+    paper's introduction (Platypus-style offchain protocols, [13]).
+
+    A subchain is created at run time by the {!Manager}, accumulates
+    transactions submitted by the environment, and on [close] settles its
+    balance to the {!Ledger} and {e destroys itself}: its settle output is
+    its last action, after which its signature is empty and configuration
+    reduction (Definition 2.12) removes it. *)
+
+open Cdse_psioa
+
+val name : int -> string
+(** Identifier of the [i]-th subchain ("sub0", "sub1", …). *)
+
+val tx : int -> int -> Action.t
+(** [tx i v]: submit a transaction of value [v] to subchain [i] (EI). *)
+
+val close : int -> Action.t
+(** [close i]: ask subchain [i] to settle (EI). *)
+
+val settle : int -> int -> Action.t
+(** [settle i total]: the settlement published to the ledger (output of the
+    subchain, input of the ledger). *)
+
+val make : ?tx_values:int list -> int -> Psioa.t
+(** The [i]-th subchain automaton. [tx_values] is the per-transaction value
+    alphabet (default [[1; 2]]). *)

@@ -1,0 +1,90 @@
+open Cdse_prob
+open Cdse_psioa
+open Cdse_config
+
+let build ?(n_subchains = 3) ?(tx_values = [ 1; 2 ]) ?(max_total = 12) () =
+  let registry =
+    Registry.of_list
+      (Manager.make ~max_open:n_subchains ()
+      :: Ledger.make ~n_subchains ~max_total ()
+      :: List.init n_subchains (fun i -> Subchain.make ~tx_values i))
+  in
+  let created config a =
+    if Action.equal a Manager.open_action then
+      match Option.bind (Config.state_of config "mgr") Manager.opened with
+      | Some k when k < n_subchains -> [ Subchain.name k ]
+      | _ -> []
+    else []
+  in
+  Pca.make ~name:"subchain-system" ~registry
+    ~init:(Config.start_of registry [ "mgr"; "ledger" ])
+    ~created ()
+
+let alive_subchains pca q =
+  List.filter_map
+    (fun id -> Scanf.sscanf_opt id "sub%d" (fun i -> i))
+    (Pca.alive pca q)
+
+let ledger_total pca q =
+  match Option.bind (Config.state_of (Pca.config_of pca q) "ledger") Ledger.total_of with
+  | Some t -> t
+  | None -> 0
+
+type drive_stats = {
+  steps_taken : int;
+  creations : int;
+  destructions : int;
+  max_alive : int;
+  final_total : int;
+}
+
+let drive ?(restart = false) pca ~rng ~steps =
+  let auto = Pca.psioa pca in
+  let rec go q n stats =
+    if n = 0 then { stats with final_total = stats.final_total + ledger_total pca q }
+    else
+      (* Closed-world driving: locally controlled actions fire on their
+         own; of the input actions the driver only plays the environment's
+         (subchain tx/close). The ledger's settle inputs are NOT candidates
+         — they may only occur synchronised with a closing subchain's
+         output, in which case they already appear among the local
+         actions. *)
+      let sg = Psioa.signature auto q in
+      let env_inputs =
+        Action_set.filter
+          (fun a ->
+            String.length (Cdse_psioa.Action.name a) >= 3
+            && String.sub (Cdse_psioa.Action.name a) 0 3 = "sub")
+          (Sigs.input sg)
+      in
+      let acts = Action_set.elements (Action_set.union (Sigs.local sg) env_inputs) in
+      match acts with
+      | [] ->
+          if restart then
+            go (Psioa.start auto) n
+              { stats with final_total = stats.final_total + ledger_total pca q }
+          else { stats with final_total = stats.final_total + ledger_total pca q }
+      | _ ->
+          let a = Rng.pick rng acts in
+          let q' =
+            match Dist.sample rng (Psioa.step auto q a) with
+            | Some q' -> q'
+            | None -> q
+          in
+          (* A single intrinsic transition can create and destroy at once
+             (e.g. the manager expires while spawning its last subchain),
+             so creation and destruction are counted by set difference. *)
+          let before = Pca.alive pca q and after = Pca.alive pca q' in
+          let born = List.filter (fun id -> not (List.mem id before)) after in
+          let died = List.filter (fun id -> not (List.mem id after)) before in
+          let stats =
+            { stats with
+              steps_taken = stats.steps_taken + 1;
+              creations = stats.creations + List.length born;
+              destructions = stats.destructions + List.length died;
+              max_alive = max stats.max_alive (List.length after) }
+          in
+          go q' (n - 1) stats
+  in
+  go (Psioa.start auto) steps
+    { steps_taken = 0; creations = 0; destructions = 0; max_alive = 0; final_total = 0 }

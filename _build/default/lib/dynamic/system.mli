@@ -1,0 +1,41 @@
+(** The assembled dynamic subchain system: a PCA whose live automaton set
+    changes at run time.
+
+    Initial configuration: manager + ledger. Each [mgr.open] creates the
+    next subchain (constraint φ of Definition 2.14); each subchain destroys
+    itself on settlement (reduction, Definition 2.12). This is the workload
+    behind experiment E8 and the [dynamic_subchain] example. *)
+
+open Cdse_prob
+open Cdse_psioa
+open Cdse_config
+
+val build : ?n_subchains:int -> ?tx_values:int list -> ?max_total:int -> unit -> Pca.t
+(** The canonical PCA. [n_subchains] bounds how many subchains can ever be
+    created (registry size and manager budget); [max_total] bounds the
+    ledger's advertised settlement payloads (must dominate any reachable
+    subchain balance the driver produces). *)
+
+val alive_subchains : Pca.t -> Value.t -> int list
+(** Indices of currently live subchains in a PCA state. *)
+
+val ledger_total : Pca.t -> Value.t -> int
+(** The ledger's recorded total in a PCA state. *)
+
+type drive_stats = {
+  steps_taken : int;
+  creations : int;
+  destructions : int;
+  max_alive : int;
+  final_total : int;
+}
+
+val drive : ?restart:bool -> Pca.t -> rng:Rng.t -> steps:int -> drive_stats
+(** Random closed-world driver: repeatedly samples an enabled
+    locally-controlled or environment-input action (opens, transactions,
+    closes, settlements, reports) and steps the PCA, tracking
+    creation/destruction statistics. When the system quiesces (every
+    subchain settled, manager expired) the driver stops — or, with
+    [restart] (default false), resets to the initial configuration and
+    continues for the full step budget (episodic churn, experiment E8).
+    [final_total] accumulates across episodes. *)

@@ -1,0 +1,1 @@
+lib/gen/monotone.ml: Action Cdse_config Cdse_prob Cdse_psioa Cdse_sched Config Exec Pca Psioa Registry Sigs Value Vdist Workloads

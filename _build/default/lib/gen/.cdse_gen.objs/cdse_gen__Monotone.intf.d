@@ -1,0 +1,1 @@
+lib/gen/monotone.mli: Action Cdse_config Cdse_psioa Cdse_sched Psioa

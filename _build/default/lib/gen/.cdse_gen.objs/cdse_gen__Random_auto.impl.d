@@ -1,0 +1,1 @@
+lib/gen/random_auto.ml: Action Action_set Array Cdse_prob Cdse_psioa List Printf Psioa Rat Rng Sigs String Value Vdist

@@ -1,0 +1,1 @@
+lib/gen/random_auto.mli: Cdse_prob Cdse_psioa Psioa Rng

@@ -1,0 +1,1 @@
+lib/gen/random_pca.ml: Action Cdse_config Cdse_prob Cdse_psioa Config Hashtbl List Pca Printf Psioa Rat Registry Rng Workloads

@@ -1,0 +1,1 @@
+lib/gen/random_pca.mli: Cdse_config Cdse_prob Pca Rng

@@ -1,0 +1,1 @@
+lib/gen/sworkloads.ml: Action Action_set Cdse_psioa Cdse_secure List Psioa Sigs Structured Value Vdist Workloads

@@ -1,0 +1,1 @@
+lib/gen/sworkloads.mli: Cdse_psioa Cdse_secure Psioa Structured Value

@@ -1,0 +1,1 @@
+lib/gen/workloads.ml: Action Action_set Cdse_prob Cdse_psioa List Psioa Rat Sigs Value Vdist

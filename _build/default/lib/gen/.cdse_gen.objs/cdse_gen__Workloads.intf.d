@@ -1,0 +1,1 @@
+lib/gen/workloads.mli: Action Cdse_prob Cdse_psioa Psioa Rat Sigs Value

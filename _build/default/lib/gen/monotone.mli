@@ -1,0 +1,42 @@
+(** Monotonicity w.r.t. PSIOA creation (Section 4.4).
+
+    The paper recalls (from the dynamic-PIOA framework) that the
+    implementation relation is monotonic w.r.t. creation — if [X_A] and
+    [X_B] differ only in creating [A] instead of [B], and [A] implements
+    [B], then [X_A] implements [X_B] — {e only} under creation-oblivious
+    scheduler schemas. This module packages the canonical witness:
+
+    - two children with identical external behaviour ([beep] then die),
+      differing in an internal [work] step;
+    - two PCAs that create one or the other at run time;
+    - a {e creation-sensitive} scheduler that halts exactly when it sees
+      child A's distinctive internal state — breaking monotonicity;
+    - oblivious scripts under which monotonicity holds.
+
+    Used by the secure-layer tests and experiment E11. *)
+
+open Cdse_psioa
+
+val child_slow : Psioa.t
+(** Child A: internal [kid.work], then output [kid.beep], then dies. *)
+
+val child_fast : Psioa.t
+(** Child B: output [kid.beep] immediately, then dies. Same identifier
+    ("kid") — the two PCAs' registries bind it differently. *)
+
+val pca_with : Psioa.t -> Cdse_config.Pca.t
+(** The context [X_·]: a parent that spawns [kid] at run time. *)
+
+val env : Psioa.t
+(** Environment accepting after it hears [kid.beep]. *)
+
+val script_slow : Action.t list
+(** Oblivious script driving [env ‖ X_{child_slow}] to acceptance. *)
+
+val script_fast : Action.t list
+
+val creation_sensitive : Psioa.t -> Cdse_sched.Scheduler.t
+(** The monotonicity-breaking scheduler for a composite [env ‖ X]: behaves
+    like first-enabled until child A's pre-work state appears in the
+    configuration, then halts. Creation-sensitive: its decision depends on
+    {e which} automaton was created. *)

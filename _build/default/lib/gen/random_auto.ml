@@ -1,0 +1,46 @@
+open Cdse_prob
+open Cdse_psioa
+
+let make ~rng ~name ?(n_states = 6) ?(n_actions = 4) ?(branching = 2) () =
+  let actions = Array.init n_actions (fun i -> Action.make (Printf.sprintf "%s.a%d" name i)) in
+  let state i = Value.tag name (Value.int i) in
+  (* Per-state: a non-empty subset of actions split into outputs and
+     internals, and for each enabled action a random target measure. All
+     tables are drawn eagerly so the automaton is a pure function of the
+     seed. *)
+  let plans =
+    Array.init n_states (fun _ ->
+        let n_enabled = 1 + Rng.int rng n_actions in
+        let enabled = List.filteri (fun i _ -> i < n_enabled) (Rng.shuffle rng (Array.to_list actions)) in
+        List.map
+          (fun a ->
+            let is_output = Rng.bool rng in
+            let k = 1 + Rng.int rng branching in
+            let targets = List.init k (fun _ -> Rng.int rng n_states) in
+            let weights = List.map (fun _ -> 1 + Rng.int rng 3) targets in
+            let total = List.fold_left ( + ) 0 weights in
+            let dist =
+              Vdist.make
+                (List.map2 (fun t w -> (state t, Rat.of_ints w total)) targets weights)
+            in
+            (a, is_output, dist))
+          enabled)
+  in
+  let plan_of q =
+    match q with
+    | Value.Tag (n, Value.Int i) when String.equal n name && i >= 0 && i < n_states -> plans.(i)
+    | _ -> []
+  in
+  let signature q =
+    let plan = plan_of q in
+    let outs = List.filter_map (fun (a, o, _) -> if o then Some a else None) plan in
+    let ints = List.filter_map (fun (a, o, _) -> if o then None else Some a) plan in
+    Sigs.make ~input:Action_set.empty ~output:(Action_set.of_list outs)
+      ~internal:(Action_set.of_list ints)
+  in
+  let transition q act =
+    List.find_map
+      (fun (a, _, dist) -> if Action.equal a act then Some dist else None)
+      (plan_of q)
+  in
+  Psioa.make ~name ~start:(state 0) ~signature ~transition

@@ -1,0 +1,25 @@
+(** Seeded random PSIOA generator.
+
+    Produces structurally varied but always-valid automata for the
+    boundedness experiments (E1/E2) and property tests: random state
+    counts, per-state output/internal action partitions, and random
+    transition measures with small rational probabilities. Actions are
+    namespaced by the automaton name, so independently generated automata
+    are always pairwise compatible. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+val make :
+  rng:Rng.t ->
+  name:string ->
+  ?n_states:int ->
+  ?n_actions:int ->
+  ?branching:int ->
+  unit ->
+  Psioa.t
+(** [make ~rng ~name ()] draws an automaton with [n_states] states
+    (default 6) over [n_actions] locally-controlled actions (default 4),
+    each transition targeting up to [branching] states (default 2) with
+    probabilities of denominator ≤ 4. The automaton is valid by
+    construction ({!Cdse_psioa.Psioa.validate} holds). *)

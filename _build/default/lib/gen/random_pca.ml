@@ -1,0 +1,34 @@
+open Cdse_prob
+open Cdse_psioa
+open Cdse_config
+
+let make ~rng ?(n_members = 4) ?(prefix = "r") () =
+  let member i =
+    let name = Printf.sprintf "%s%d" prefix i in
+    match Rng.int rng 3 with
+    | 0 -> Workloads.counter ~bound:(1 + Rng.int rng 3) name
+    | 1 -> Workloads.fragile ~p_die:(Rat.of_ints 1 (2 + Rng.int rng 3)) name
+    | _ -> Workloads.spawner ~max_children:(1 + Rng.int rng 2) name
+  in
+  let members = List.init n_members member in
+  let registry = Registry.of_list members in
+  let ids = List.map Psioa.name members in
+  let initial_ids =
+    match List.filter (fun _ -> Rng.bool rng) ids with
+    | [] -> [ List.hd ids ]
+    | l -> l
+  in
+  (* Deterministic pseudo-random creation: the action name hash selects
+     which absent members an action creates. Derived purely from the
+     action, so the mapping is a function (as Definition 2.16 requires). *)
+  let created config a =
+    let h = Hashtbl.hash (Action.name a) in
+    List.filteri
+      (fun i id -> (not (Config.mem config id)) && (h lsr i) land 3 = 0)
+      ids
+  in
+  Pca.make
+    ~name:(prefix ^ "-pca")
+    ~registry
+    ~init:(Config.start_of registry initial_ids)
+    ~created ()

@@ -1,0 +1,17 @@
+(** Seeded random configuration automata.
+
+    Builds registries mixing self-destructing counters, probabilistically
+    dying fragiles, coins and spawners, with a deterministic pseudo-random
+    creation mapping — every transition may create fresh members and
+    destroy expiring ones. Used by the randomized property suite to check
+    the PCA constraints (Definition 2.16) and their closure under
+    composition (Definition 2.19) on arbitrary instances. *)
+
+open Cdse_prob
+open Cdse_config
+
+val make : rng:Rng.t -> ?n_members:int -> ?prefix:string -> unit -> Pca.t
+(** A random canonical PCA with [n_members] (default 4) registry members,
+    a random initial sub-configuration, and a hash-derived created
+    mapping. All member/action names carry [prefix] (default ["r"]), so
+    PCAs with distinct prefixes are composable. *)

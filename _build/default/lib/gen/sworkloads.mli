@@ -1,0 +1,42 @@
+(** Structured workload automata for the secure layer.
+
+    The running protocol is a tiny adversarially-scheduled relay:
+
+    {v
+    env --in(m)--> [proto] --leak(m)--> adversary
+    adversary --deliver--> [proto] --out(m)--> env
+    v}
+
+    [in]/[out] are environment actions, [leak]/[deliver] adversary actions
+    (Definition 4.17), so the fixture exercises both directions of the
+    attack surface — which is exactly what the dummy-adversary forwarding
+    of Lemma D.1 needs. *)
+
+open Cdse_psioa
+open Cdse_secure
+
+(** {2 Relay states (exposed for tests)} *)
+
+val q_idle : Value.t
+val q_got : int -> Value.t
+val q_sent : int -> Value.t
+val q_done : int -> Value.t
+val q_final : Value.t
+
+val relay : ?alphabet:int list -> string -> Structured.t
+(** The relay protocol over the given message alphabet (default [[0]]). *)
+
+val relay_adversary :
+  ?alphabet:int list -> proto_name:string -> rename:(string -> string) -> string -> Psioa.t
+(** Forwarding adversary: receives leaks, replies with deliver. [rename]
+    is applied to every adversary-action name — pass [Fun.id] for the
+    unrenamed alphabet, or a [g]-prefix when attaching it behind a dummy
+    renaming (Lemma D.1's setting). *)
+
+val relay_env : ?alphabet:int list -> ?m0:int -> proto_name:string -> string -> Psioa.t
+(** Environment: sends [proto.in m0], waits for any [proto.out], announces
+    [acc]. *)
+
+val eact_touching_adversary : proto_name:string -> string -> Psioa.t
+(** Failure-injection fixture: a purported adversary that listens to the
+    protocol's {e environment} actions — rejected by Definition 4.24. *)

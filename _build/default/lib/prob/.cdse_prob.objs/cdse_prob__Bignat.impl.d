@@ -1,0 +1,1 @@
+lib/prob/bignat.ml: Array Buffer Cdse_util Char Format Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/prob/bignat.mli: Cdse_util Format

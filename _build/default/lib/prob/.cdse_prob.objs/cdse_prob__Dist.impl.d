@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Cdse_util Format List Rat Rng

@@ -1,0 +1,1 @@
+lib/prob/fprob.ml: Dist Float List Rat

@@ -1,0 +1,1 @@
+lib/prob/rat.ml: Bignat Cdse_util Format Hashtbl List Reader String

@@ -1,0 +1,1 @@
+lib/prob/rat.mli: Bignat Cdse_util Format

@@ -1,0 +1,1 @@
+lib/prob/stat.ml: Dist List Rat

@@ -1,0 +1,1 @@
+lib/prob/stat.mli: Dist Rat

@@ -1,0 +1,209 @@
+(* Little-endian limbs in base 2^31; invariant: no trailing zero limbs, so
+   zero is the empty array. Base 2^31 keeps limb products within the 63-bit
+   native int range. *)
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero a = Array.length a = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  let rec go acc n = if n = 0 then List.rev acc else go ((n land mask) :: acc) (n lsr limb_bits) in
+  Array.of_list (go [] n)
+
+let to_int_opt a =
+  let rec go acc i =
+    if i < 0 then Some acc
+    else if acc > (max_int - a.(i)) lsr limb_bits then None
+    else go ((acc lsl limb_bits) lor a.(i)) (i - 1)
+  in
+  go 0 (Array.length a - 1)
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i = if i < 0 then 0 else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i - 1)
+    in
+    go (Array.length a - 1)
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr limb_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let num_bits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else
+    let top = a.(n - 1) in
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    ((n - 1) * limb_bits) + width 0 top
+
+let get_bit a i =
+  let limb = i / limb_bits in
+  if limb >= Array.length a then false else a.(limb) land (1 lsl (i mod limb_bits)) <> 0
+
+let shift_left a k =
+  if is_zero a || k = 0 then a
+  else begin
+    let nb = num_bits a + k in
+    let n = ((nb + limb_bits - 1) / limb_bits) in
+    let r = Array.make n 0 in
+    for i = 0 to num_bits a - 1 do
+      if get_bit a i then begin
+        let j = i + k in
+        r.(j / limb_bits) <- r.(j / limb_bits) lor (1 lsl (j mod limb_bits))
+      end
+    done;
+    normalize r
+  end
+
+(* Schoolbook binary long division, with a native fast path when both
+   operands fit in an OCaml int — the common case for probability
+   denominators, and the hot loop of gcd normalisation. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else
+    match (to_int_opt a, to_int_opt b) with
+    | Some x, Some y -> (of_int (x / y), of_int (x mod y))
+    | _ ->
+    begin
+    let nb = num_bits a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref zero in
+    for i = nb - 1 downto 0 do
+      (* r := 2r + bit i of a *)
+      let shifted = shift_left !r 1 in
+      r := if get_bit a i then add shifted one else shifted;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (snd (divmod a b))
+
+let pow a k =
+  if k < 0 then invalid_arg "Bignat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else if k land 1 = 1 then go (mul acc base) (mul base base) (k lsr 1)
+    else go acc (mul base base) (k lsr 1)
+  in
+  go one a k
+
+let to_bits a =
+  let nb = num_bits a in
+  Cdse_util.Bits.of_bool_list (List.init nb (fun i -> get_bit a (nb - 1 - i)))
+
+let of_bits bits =
+  let n = Cdse_util.Bits.length bits in
+  let r = ref zero in
+  for i = 0 to n - 1 do
+    let shifted = shift_left !r 1 in
+    r := if Cdse_util.Bits.get bits i then add shifted one else shifted
+  done;
+  !r
+
+let ten = of_int 10
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod v ten in
+        let d = match to_int_opt r with Some d -> d | None -> assert false in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + d))
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignat.of_string: empty";
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bignat.of_string: bad digit";
+      r := add (mul !r ten) (of_int (Char.code c - Char.code '0')))
+    s;
+  !r
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let hash a = Hashtbl.hash (Array.to_list a)

@@ -1,0 +1,54 @@
+(** Arbitrary-precision natural numbers.
+
+    Probability values in the framework must be exact: the balanced-scheduler
+    relation of Definition 3.6 is checked with [ε = 0] in Lemma D.1, and cone
+    measures are products of many transition probabilities, so machine floats
+    would drift. No [zarith] is available in the sealed environment, so this
+    module implements naturals from scratch on top of OCaml [int] limbs
+    (base 2^31). It is the numeric substrate for {!Rat} and {!Dist}. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negatives. *)
+
+val to_int_opt : t -> int option
+(** [None] if the value does not fit in an OCaml [int]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Truncated subtraction; raises [Invalid_argument] if the result would be
+    negative. *)
+
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q·b + r], [0 ≤ r < b]. Raises
+    [Division_by_zero] when [b] is zero. *)
+
+val gcd : t -> t -> t
+val pow : t -> int -> t
+val shift_left : t -> int -> t
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; 0 for zero. *)
+
+val to_bits : t -> Cdse_util.Bits.t
+(** Big-endian binary representation without leading zeros ({!zero} encodes
+    to the empty bit string). Part of the ⟨·⟩ encodings of Section 4.1. *)
+
+val of_bits : Cdse_util.Bits.t -> t
+
+val of_string : string -> t
+(** Decimal. Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

@@ -1,0 +1,119 @@
+type 'a t = { cmp : 'a -> 'a -> int; items : ('a * Rat.t) list }
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+(* Merge-normalize an association list under [cmp]: sort, merge duplicates,
+   drop zeros, validate non-negativity and mass ≤ 1. *)
+let normalize cmp pairs =
+  List.iter
+    (fun (_, p) -> if Rat.sign p < 0 then invalid "Dist: negative probability %s" (Rat.to_string p))
+    pairs;
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> cmp a b) pairs in
+  let rec merge = function
+    | [] -> []
+    | [ (x, p) ] -> if Rat.is_zero p then [] else [ (x, p) ]
+    | (x, p) :: ((y, q) :: rest as tail) ->
+        if cmp x y = 0 then merge ((x, Rat.add p q) :: rest)
+        else if Rat.is_zero p then merge tail
+        else (x, p) :: merge tail
+  in
+  let items = merge sorted in
+  let total = Rat.sum (List.map snd items) in
+  if Rat.compare total Rat.one > 0 then invalid "Dist: mass %s exceeds 1" (Rat.to_string total);
+  items
+
+let make ~compare pairs = { cmp = compare; items = normalize compare pairs }
+let empty ~compare = { cmp = compare; items = [] }
+let dirac ~compare x = { cmp = compare; items = [ (x, Rat.one) ] }
+
+let uniform ~compare l =
+  match l with
+  | [] -> invalid "Dist.uniform: empty support"
+  | _ ->
+      let p = Rat.of_ints 1 (List.length l) in
+      make ~compare (List.map (fun x -> (x, p)) l)
+
+let bernoulli ~compare p =
+  if not (Rat.is_proper_prob p) then invalid "Dist.bernoulli: %s not in [0,1]" (Rat.to_string p);
+  make ~compare [ (true, p); (false, Rat.sub Rat.one p) ]
+
+let items d = d.items
+let support d = List.map fst d.items
+let size d = List.length d.items
+let compare_elt d = d.cmp
+
+let prob d x =
+  match List.find_opt (fun (y, _) -> d.cmp x y = 0) d.items with
+  | Some (_, p) -> p
+  | None -> Rat.zero
+
+let mass d = Rat.sum (List.map snd d.items)
+let deficit d = Rat.sub Rat.one (mass d)
+let is_proper d = Rat.equal (mass d) Rat.one
+
+let scale factor d =
+  if Rat.sign factor < 0 || Rat.compare factor Rat.one > 0 then
+    invalid "Dist.scale: factor %s not in [0,1]" (Rat.to_string factor);
+  if Rat.is_zero factor then { d with items = [] }
+  else { d with items = List.map (fun (x, p) -> (x, Rat.mul factor p)) d.items }
+
+let map ~compare f d = make ~compare (List.map (fun (x, p) -> (f x, p)) d.items)
+
+let bind ~compare d f =
+  make ~compare
+    (List.concat_map (fun (x, p) -> List.map (fun (y, q) -> (y, Rat.mul p q)) (f x).items) d.items)
+
+let product a b =
+  let compare = Cdse_util.Order.pair a.cmp b.cmp in
+  make ~compare
+    (List.concat_map (fun (x, p) -> List.map (fun (y, q) -> ((x, y), Rat.mul p q)) b.items) a.items)
+
+let product_list ~compare ds =
+  let lcompare = Cdse_util.Order.list compare in
+  List.fold_right
+    (fun d acc ->
+      make ~compare:lcompare
+        (List.concat_map
+           (fun (x, p) -> List.map (fun (xs, q) -> (x :: xs, Rat.mul p q)) acc.items)
+           d.items))
+    ds
+    (dirac ~compare:lcompare [])
+
+let filter pred d = { d with items = List.filter (fun (x, _) -> pred x) d.items }
+
+let expect f d = Rat.sum (List.map (fun (x, p) -> Rat.mul (f x) p) d.items)
+
+let equal a b =
+  List.length a.items = List.length b.items
+  && List.for_all2
+       (fun (x, p) (y, q) -> a.cmp x y = 0 && Rat.equal p q)
+       a.items b.items
+
+let corresponds ~f a b =
+  (* f restricted to supp(a) must be a probability-preserving bijection onto
+     supp(b) (Definition 2.15). Pushing a through f and comparing measures
+     checks surjectivity and preservation; injectivity on the support holds
+     iff the image support has the same cardinality. *)
+  let image = map ~compare:b.cmp f a in
+  size image = size a && equal image b
+
+let sample rng d =
+  let target = Rat.of_ints (Rng.int rng 1_000_003) 1_000_003 in
+  let rec go acc = function
+    | [] -> None
+    | (x, p) :: rest ->
+        let acc = Rat.add acc p in
+        if Rat.compare target acc < 0 then Some x else go acc rest
+  in
+  go Rat.zero d.items
+
+let pp pp_elt fmt d =
+  Format.fprintf fmt "@[<hov 1>{";
+  List.iteri
+    (fun i (x, p) ->
+      if i > 0 then Format.fprintf fmt ";@ ";
+      Format.fprintf fmt "%a ↦ %a" pp_elt x Rat.pp p)
+    d.items;
+  Format.fprintf fmt "}@]"

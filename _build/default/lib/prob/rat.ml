@@ -1,0 +1,136 @@
+type t = { sg : int; n : Bignat.t; d : Bignat.t }
+
+let make ~sign ~num ~den =
+  if Bignat.is_zero den then raise Division_by_zero;
+  if sign < -1 || sign > 1 then invalid_arg "Rat.make: bad sign";
+  if sign = 0 || Bignat.is_zero num then { sg = 0; n = Bignat.zero; d = Bignat.one }
+  else
+    let g = Bignat.gcd num den in
+    let n, _ = Bignat.divmod num g in
+    let d, _ = Bignat.divmod den g in
+    { sg = sign; n; d }
+
+let zero = { sg = 0; n = Bignat.zero; d = Bignat.one }
+let one = { sg = 1; n = Bignat.one; d = Bignat.one }
+let minus_one = { sg = -1; n = Bignat.one; d = Bignat.one }
+let half = { sg = 1; n = Bignat.one; d = Bignat.two }
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sg = 1; n = Bignat.of_int n; d = Bignat.one }
+  else { sg = -1; n = Bignat.of_int (-n); d = Bignat.one }
+
+let of_ints num den =
+  if den = 0 then raise Division_by_zero;
+  let sign = if num = 0 then 0 else if (num > 0) = (den > 0) then 1 else -1 in
+  make ~sign ~num:(Bignat.of_int (abs num)) ~den:(Bignat.of_int (abs den))
+
+let num r = r.n
+let den r = r.d
+let sign r = r.sg
+
+let neg r = if r.sg = 0 then r else { r with sg = -r.sg }
+let abs r = if r.sg < 0 then { r with sg = 1 } else r
+let is_zero r = r.sg = 0
+
+(* |a| + |b| with signs: compute on cross-multiplied numerators. Equal
+   denominators (the common case when summing probability masses) skip the
+   cross-multiplication, keeping gcd arguments small. *)
+let add a b =
+  if a.sg = 0 then b
+  else if b.sg = 0 then a
+  else
+    let na, nb, d =
+      if Bignat.equal a.d b.d then (a.n, b.n, a.d)
+      else (Bignat.mul a.n b.d, Bignat.mul b.n a.d, Bignat.mul a.d b.d)
+    in
+    if a.sg = b.sg then make ~sign:a.sg ~num:(Bignat.add na nb) ~den:d
+    else
+      let c = Bignat.compare na nb in
+      if c = 0 then zero
+      else if c > 0 then make ~sign:a.sg ~num:(Bignat.sub na nb) ~den:d
+      else make ~sign:b.sg ~num:(Bignat.sub nb na) ~den:d
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sg = 0 || b.sg = 0 then zero
+  else make ~sign:(a.sg * b.sg) ~num:(Bignat.mul a.n b.n) ~den:(Bignat.mul a.d b.d)
+
+let inv a =
+  if a.sg = 0 then raise Division_by_zero;
+  { a with n = a.d; d = a.n }
+
+let div a b = mul a (inv b)
+
+let compare a b = sign (sub a b)
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let sum = List.fold_left add zero
+let is_proper_prob r = r.sg >= 0 && compare r one <= 0
+
+let rec pow a k =
+  if k = 0 then one
+  else if k > 0 then
+    { sg = (if a.sg < 0 && k land 1 = 1 then -1 else if a.sg = 0 then 0 else 1);
+      n = Bignat.pow a.n k;
+      d = Bignat.pow a.d k }
+  else inv (pow a (-k))
+
+let to_float r =
+  let big_to_float b =
+    match Bignat.to_int_opt b with
+    | Some i -> float_of_int i
+    | None ->
+        (* Scale down: take the top 52 bits and reapply the exponent. *)
+        let nb = Bignat.num_bits b in
+        let shift = nb - 52 in
+        let top, _ = Bignat.divmod b (Bignat.pow Bignat.two shift) in
+        let m = match Bignat.to_int_opt top with Some i -> float_of_int i | None -> assert false in
+        ldexp m shift
+  in
+  float_of_int r.sg *. (big_to_float r.n /. big_to_float r.d)
+
+let to_bits r =
+  let open Cdse_util.Bits in
+  let nbits = Bignat.to_bits r.n and dbits = Bignat.to_bits r.d in
+  concat
+    [ singleton (r.sg >= 0);
+      encode_nat (length nbits);
+      nbits;
+      encode_nat (length dbits);
+      dbits ]
+
+let of_bits bits =
+  let open Cdse_util.Bits in
+  let r = Reader.make bits in
+  let sign_bit = Reader.read_bit r in
+  let nlen = Reader.read_nat r in
+  let n = Bignat.of_bits (Reader.read_bits nlen r) in
+  let dlen = Reader.read_nat r in
+  let d = Bignat.of_bits (Reader.read_bits dlen r) in
+  if not (Reader.at_end r) then invalid_arg "Rat.of_bits: trailing bits";
+  let sign = if Bignat.is_zero n then 0 else if sign_bit then 1 else -1 in
+  make ~sign ~num:n ~den:d
+
+let to_string r =
+  let base =
+    if Bignat.equal r.d Bignat.one then Bignat.to_string r.n
+    else Bignat.to_string r.n ^ "/" ^ Bignat.to_string r.d
+  in
+  if r.sg < 0 then "-" ^ base else base
+
+let of_string s =
+  let s, sign = if String.length s > 0 && s.[0] = '-' then (String.sub s 1 (String.length s - 1), -1) else (s, 1) in
+  match String.index_opt s '/' with
+  | None ->
+      let n = Bignat.of_string s in
+      make ~sign:(if Bignat.is_zero n then 0 else sign) ~num:n ~den:Bignat.one
+  | Some i ->
+      let n = Bignat.of_string (String.sub s 0 i) in
+      let d = Bignat.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make ~sign:(if Bignat.is_zero n then 0 else sign) ~num:n ~den:d
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+let hash r = Hashtbl.hash (r.sg, Bignat.hash r.n, Bignat.hash r.d)

@@ -1,0 +1,47 @@
+(* Walk the merged supports accumulating positive and negative mass
+   differences; the deficits of sub-measures act as an extra ⊥ point. *)
+let diffs a b =
+  let cmp = Dist.compare_elt a in
+  let rec go pos neg la lb =
+    match (la, lb) with
+    | [], [] -> (pos, neg)
+    | (_, p) :: ra, [] -> go (Rat.add pos p) neg ra []
+    | [], (_, q) :: rb -> go pos (Rat.add neg q) [] rb
+    | (x, p) :: ra, (y, q) :: rb ->
+        let c = cmp x y in
+        if c < 0 then go (Rat.add pos p) neg ra lb
+        else if c > 0 then go pos (Rat.add neg q) la rb
+        else
+          let d = Rat.sub p q in
+          if Rat.sign d >= 0 then go (Rat.add pos d) neg ra rb
+          else go pos (Rat.add neg (Rat.neg d)) ra rb
+  in
+  let pos, neg = go Rat.zero Rat.zero (Dist.items a) (Dist.items b) in
+  (* Deficit difference contributes to whichever side halts more. *)
+  let dd = Rat.sub (Dist.deficit a) (Dist.deficit b) in
+  if Rat.sign dd >= 0 then (Rat.add pos dd, neg) else (pos, Rat.add neg (Rat.neg dd))
+
+let sup_set_distance a b =
+  let pos, neg = diffs a b in
+  Rat.max pos neg
+
+let tv_distance = sup_set_distance
+
+let l1_distance a b =
+  let pos, neg = diffs a b in
+  Rat.add pos neg
+
+let balanced ~eps a b = Rat.compare (sup_set_distance a b) eps <= 0
+
+(* The observation carrying the largest single-point mass gap — the
+   counterexample a failed balance/implementation check should show. *)
+let max_gap_point a b =
+  let cmp = Dist.compare_elt a in
+  let gap x = Rat.abs (Rat.sub (Dist.prob a x) (Dist.prob b x)) in
+  let candidates = List.sort_uniq cmp (Dist.support a @ Dist.support b) in
+  List.fold_left
+    (fun best x ->
+      match best with
+      | Some (_, g) when Rat.compare (gap x) g <= 0 -> best
+      | _ -> Some (x, gap x))
+    None candidates

@@ -1,0 +1,30 @@
+(** Statistical distance between distributions.
+
+    Definition 3.6 of the paper compares two image measures by
+    [sup_{I} |Σ_{i∈I} (q(ζ_i) - p(ζ_i))| ≤ ε] — the supremum over countable
+    families of observations of the absolute mass difference. For finite
+    discrete (sub-)measures this supremum is attained on the sets where one
+    measure dominates the other, so it equals
+    [max(Σ_{q>p}(q-p), Σ_{p>q}(p-q))], with the halting deficits of
+    sub-measures accounted as mass on a virtual ⊥ outcome. *)
+
+val sup_set_distance : 'a Dist.t -> 'a Dist.t -> Rat.t
+(** The Definition 3.6 distance. Both arguments must have been built with
+    compatible comparators (the left one is used). For proper distributions
+    this coincides with total-variation distance (no 1/2 factor, matching
+    the paper's definition). *)
+
+val tv_distance : 'a Dist.t -> 'a Dist.t -> Rat.t
+(** Alias of {!sup_set_distance}. *)
+
+val l1_distance : 'a Dist.t -> 'a Dist.t -> Rat.t
+(** [Σ |p - q|] over the joint support (deficits included). *)
+
+val balanced : eps:Rat.t -> 'a Dist.t -> 'a Dist.t -> bool
+(** [sup_set_distance ≤ eps] — the pointwise check behind
+    [σ S^{≤ε}_{E,f} σ'] once the two f-dists have been computed. *)
+
+val max_gap_point : 'a Dist.t -> 'a Dist.t -> ('a * Rat.t) option
+(** The observation with the largest pointwise mass gap and that gap —
+    the distinguishing witness reported when a balance or implementation
+    check fails. [None] only when both supports are empty. *)

@@ -1,0 +1,1 @@
+lib/psioa/action.ml: Cdse_util Format Hashtbl String Value

@@ -1,0 +1,1 @@
+lib/psioa/action.mli: Cdse_util Format Value

@@ -1,0 +1,1 @@
+lib/psioa/action_set.ml: Action Format List Set

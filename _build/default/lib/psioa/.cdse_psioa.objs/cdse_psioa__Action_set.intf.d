@@ -1,0 +1,1 @@
+lib/psioa/action_set.mli: Action Format Set

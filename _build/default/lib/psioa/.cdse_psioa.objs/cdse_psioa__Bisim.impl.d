@@ -1,0 +1,1 @@
+lib/psioa/bisim.ml: Action Action_set Cdse_prob Dist Hashtbl Int List Map Option Psioa Rat Sigs Value

@@ -1,0 +1,1 @@
+lib/psioa/bisim.mli: Action Psioa Sigs

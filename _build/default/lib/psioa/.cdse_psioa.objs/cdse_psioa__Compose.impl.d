@@ -1,0 +1,1 @@
+lib/psioa/compose.ml: Action_set Cdse_prob Dist Exec Format Fun List Option Printf Psioa Sigs String Value Vdist

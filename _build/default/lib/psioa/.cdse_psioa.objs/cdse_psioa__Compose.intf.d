@@ -1,0 +1,1 @@
+lib/psioa/compose.mli: Exec Psioa Value

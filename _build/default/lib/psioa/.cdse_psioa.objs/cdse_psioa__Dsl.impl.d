@@ -1,0 +1,1 @@
+lib/psioa/dsl.ml: Action Action_set Cdse_prob Dist Hashtbl List Map Option Printf Psioa Sigs Value Vdist

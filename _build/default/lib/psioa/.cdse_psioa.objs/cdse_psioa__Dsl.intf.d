@@ -1,0 +1,1 @@
+lib/psioa/dsl.mli: Action Cdse_prob Dist Psioa Value

@@ -1,0 +1,1 @@
+lib/psioa/dump.ml: Action Action_set Buffer Cdse_prob Dist Hashtbl List Option Printf Psioa Rat Sigs String Value

@@ -1,0 +1,1 @@
+lib/psioa/dump.mli: Psioa

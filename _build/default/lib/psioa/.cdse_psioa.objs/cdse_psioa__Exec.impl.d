@@ -1,0 +1,1 @@
+lib/psioa/exec.ml: Action Action_set Cdse_util Format Hashtbl List Sigs Value

@@ -1,0 +1,1 @@
+lib/psioa/exec.mli: Action Format Sigs Value

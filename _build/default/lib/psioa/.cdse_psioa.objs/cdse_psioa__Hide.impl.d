@@ -1,0 +1,1 @@
+lib/psioa/hide.ml: Psioa Sigs

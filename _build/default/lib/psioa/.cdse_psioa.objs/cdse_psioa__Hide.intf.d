@@ -1,0 +1,1 @@
+lib/psioa/hide.mli: Action_set Psioa Value

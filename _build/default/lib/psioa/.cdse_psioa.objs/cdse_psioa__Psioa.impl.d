@@ -1,0 +1,1 @@
+lib/psioa/psioa.ml: Action Action_set Cdse_prob Dist Format Hashtbl List Printf Queue Rat Sigs Value

@@ -1,0 +1,1 @@
+lib/psioa/psioa.mli: Action Action_set Cdse_prob Dist Format Sigs Value

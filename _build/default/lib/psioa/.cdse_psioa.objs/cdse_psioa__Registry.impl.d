@@ -1,0 +1,1 @@
+lib/psioa/registry.ml: List Map Psioa String

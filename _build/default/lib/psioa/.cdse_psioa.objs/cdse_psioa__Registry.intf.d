@@ -1,0 +1,1 @@
+lib/psioa/registry.mli: Psioa

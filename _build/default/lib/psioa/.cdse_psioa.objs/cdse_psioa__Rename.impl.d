@@ -1,0 +1,1 @@
+lib/psioa/rename.ml: Action Action_set List Psioa Sigs Value

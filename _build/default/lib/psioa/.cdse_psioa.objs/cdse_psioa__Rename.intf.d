@@ -1,0 +1,1 @@
+lib/psioa/rename.mli: Action Action_set Psioa Value

@@ -1,0 +1,1 @@
+lib/psioa/sigs.ml: Action_set Format List

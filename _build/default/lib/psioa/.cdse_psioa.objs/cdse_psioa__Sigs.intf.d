@@ -1,0 +1,1 @@
+lib/psioa/sigs.mli: Action Action_set Format

@@ -1,0 +1,1 @@
+lib/psioa/value.ml: Bits Bool Cdse_util Char Format Hashtbl Int List Printf String

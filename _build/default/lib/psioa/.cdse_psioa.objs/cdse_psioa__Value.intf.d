@@ -1,0 +1,1 @@
+lib/psioa/value.mli: Cdse_util Format

@@ -1,0 +1,1 @@
+lib/psioa/vdist.ml: Cdse_prob Dist Rat Value

@@ -1,0 +1,1 @@
+lib/psioa/vdist.mli: Cdse_prob Dist Format Rat Value

@@ -1,0 +1,99 @@
+open Cdse_prob
+
+exception Incompatible of string
+
+let compose_sigs ~name states sigs =
+  match Sigs.compose_list sigs with
+  | s -> s
+  | exception Sigs.Not_disjoint msg ->
+      raise
+        (Incompatible
+           (Format.asprintf "%s at state %a: %s" name
+              (Format.pp_print_list Value.pp)
+              states msg))
+
+(* Joint transition at a compatible state (Definition 2.5): participating
+   components move, the rest stay via Dirac. *)
+let joint_transition autos qs act =
+  let participates = List.map2 (fun a q -> Psioa.is_enabled a q act) autos qs in
+  if not (List.exists Fun.id participates) then None
+  else
+    let per_component =
+      List.map2
+        (fun a q -> if Psioa.is_enabled a q act then Psioa.step a q act else Vdist.dirac q)
+        autos qs
+    in
+    Some (Dist.product_list ~compare:Value.compare per_component)
+
+let parallel ?name autos =
+  if autos = [] then invalid_arg "Compose.parallel: empty list";
+  let name =
+    match name with Some n -> n | None -> String.concat "||" (List.map Psioa.name autos)
+  in
+  let proj = function
+    | Value.List qs when List.length qs = List.length autos -> qs
+    | q -> invalid_arg (Printf.sprintf "%s: bad composite state %s" name (Value.to_string q))
+  in
+  let signature q =
+    let qs = proj q in
+    compose_sigs ~name qs (List.map2 Psioa.signature autos qs)
+  in
+  let transition q act =
+    let qs = proj q in
+    (* Only actions of the composite signature are enabled (an input shared
+       with an output becomes an output of the composite but stays a single
+       action; absent actions yield None). *)
+    if not (Action_set.mem act (Sigs.all (signature q))) then None
+    else
+      Option.map (Dist.map ~compare:Value.compare Value.list) (joint_transition autos qs act)
+  in
+  Psioa.make ~name ~start:(Value.list (List.map Psioa.start autos)) ~signature ~transition
+
+let pair ?name a b =
+  let name = match name with Some n -> n | None -> Psioa.name a ^ "||" ^ Psioa.name b in
+  let proj = function
+    | Value.Pair (qa, qb) -> (qa, qb)
+    | q -> invalid_arg (Printf.sprintf "%s: bad pair state %s" name (Value.to_string q))
+  in
+  let signature q =
+    let qa, qb = proj q in
+    compose_sigs ~name [ qa; qb ] [ Psioa.signature a qa; Psioa.signature b qb ]
+  in
+  let transition q act =
+    let qa, qb = proj q in
+    if not (Action_set.mem act (Sigs.all (signature q))) then None
+    else
+      Option.map
+        (Dist.map ~compare:Value.compare (function
+          | [ qa'; qb' ] -> Value.pair qa' qb'
+          | _ -> assert false))
+        (joint_transition [ a; b ] [ qa; qb ] act)
+  in
+  Psioa.make ~name ~start:(Value.pair (Psioa.start a) (Psioa.start b)) ~signature ~transition
+
+let proj_pair = function
+  | Value.Pair (a, b) -> (a, b)
+  | q -> invalid_arg (Printf.sprintf "Compose.proj_pair: %s" (Value.to_string q))
+
+let proj_list = function
+  | Value.List l -> l
+  | q -> invalid_arg (Printf.sprintf "Compose.proj_list: %s" (Value.to_string q))
+
+let partially_compatible ?max_states ?max_depth autos =
+  match Psioa.reachable ?max_states ?max_depth (parallel autos) with
+  | _ -> true
+  | exception Incompatible _ -> false
+
+let proj_exec autos i exec =
+  let nth_auto = List.nth autos i in
+  let local q = List.nth (proj_list q) i in
+  let rec go acc q = function
+    | [] -> acc
+    | (act, q') :: rest ->
+        let ql = local q and ql' = local q' in
+        let acc =
+          if Action_set.mem act (Psioa.enabled nth_auto ql) then Exec.extend acc act ql' else acc
+        in
+        go acc q' rest
+  in
+  go (Exec.init (local (Exec.fstate exec))) (Exec.fstate exec) (Exec.steps exec)

@@ -1,0 +1,35 @@
+(** Parallel composition of PSIOA (Definitions 2.5 and 2.18).
+
+    The composite of [A₁, …, Aₙ] has states [(q₁, …, qₙ)] (represented as
+    [Value.List]), the composed signature of Definition 2.4 at each state,
+    and joint transitions: on action [a], every component with [a] in its
+    signature moves by its own measure and the others stay put, the results
+    combined by the product measure [η₁ ⊗ … ⊗ ηₙ] (Definition 2.5). *)
+
+exception Incompatible of string
+(** Raised when a reachable state's component signatures violate
+    Definition 2.3. A set of automata is {e partially compatible} when no
+    reachable state raises this. *)
+
+val pair : ?name:string -> Psioa.t -> Psioa.t -> Psioa.t
+(** [A₁ ‖ A₂] with states [Value.Pair (q₁, q₂)] — the binary form used by
+    environments ([E ‖ A], Definition 3.3). *)
+
+val parallel : ?name:string -> Psioa.t list -> Psioa.t
+(** n-ary composition with states [Value.List [q₁; …; qₙ]]. The list must be
+    non-empty. *)
+
+val proj_pair : Value.t -> Value.t * Value.t
+(** Component states of a {!pair} composite state ([q ↾ Aᵢ]). *)
+
+val proj_list : Value.t -> Value.t list
+
+val partially_compatible :
+  ?max_states:int -> ?max_depth:int -> Psioa.t list -> bool
+(** Check Definition 2.18's side condition on the explored reachable
+    states. *)
+
+val proj_exec : Psioa.t list -> int -> Exec.t -> Exec.t
+(** Project an execution of [parallel l] onto component [i]: keep the steps
+    whose action is in that component's signature at its current local
+    state. *)

@@ -1,0 +1,58 @@
+open Cdse_prob
+
+type kind = In | Out | Int
+
+type rule = { kind : kind; action : Action.t; target : Value.t Dist.t }
+
+let input action target = { kind = In; action; target }
+let output action target = { kind = Out; action; target }
+let internal action target = { kind = Int; action; target }
+let input_to action q = input action (Vdist.dirac q)
+let output_to action q = output action (Vdist.dirac q)
+let internal_to action q = internal action (Vdist.dirac q)
+
+type entry = Value.t * rule list
+
+let state q rules : entry = (q, rules)
+
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let make ~name ~start entries =
+  let table =
+    List.fold_left
+      (fun acc (q, rules) ->
+        if Vmap.mem q acc then
+          invalid_arg (Printf.sprintf "Dsl.make %s: duplicate state %s" name (Value.to_string q));
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun r ->
+            let key = Action.to_string r.action in
+            if Hashtbl.mem seen key then
+              invalid_arg
+                (Printf.sprintf "Dsl.make %s: duplicate action %s at state %s" name key
+                   (Value.to_string q));
+            Hashtbl.replace seen key ())
+          rules;
+        Vmap.add q rules acc)
+      Vmap.empty entries
+  in
+  if not (Vmap.mem start table) then
+    invalid_arg (Printf.sprintf "Dsl.make %s: start state not listed" name);
+  let rules_of q = Option.value ~default:[] (Vmap.find_opt q table) in
+  let signature q =
+    let pick k =
+      Action_set.of_list
+        (List.filter_map (fun r -> if r.kind = k then Some r.action else None) (rules_of q))
+    in
+    Sigs.make ~input:(pick In) ~output:(pick Out) ~internal:(pick Int)
+  in
+  let transition q act =
+    List.find_map
+      (fun r -> if Action.equal r.action act then Some r.target else None)
+      (rules_of q)
+  in
+  Psioa.make ~name ~start ~signature ~transition

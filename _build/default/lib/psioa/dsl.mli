@@ -1,0 +1,45 @@
+(** Declarative table syntax for finite PSIOA.
+
+    Writing an automaton as a pair of [signature]/[transition] functions is
+    flexible but verbose; for finite automata a transition table is both
+    shorter and self-documenting. The DSL builds a valid PSIOA from a list
+    of per-state rules; states not listed have the empty signature (and are
+    therefore destroyed by configuration reduction when used inside a
+    PCA).
+
+    {[
+      let coin =
+        Dsl.(make ~name:"c" ~start:(Value.str "init")
+          [ state (Value.str "init")
+              [ internal (Action.make "c.flip")
+                  (Vdist.coin (Value.str "heads") (Value.str "tails")) ];
+            state (Value.str "heads")
+              [ output (Action.make "c.heads") (Vdist.dirac (Value.str "heads")) ];
+            state (Value.str "tails")
+              [ output (Action.make "c.tails") (Vdist.dirac (Value.str "tails")) ] ])
+    ]}
+
+    Duplicate actions within a state or duplicate states raise
+    [Invalid_argument] at construction time. *)
+
+open Cdse_prob
+
+type rule
+
+val input : Action.t -> Value.t Dist.t -> rule
+val output : Action.t -> Value.t Dist.t -> rule
+val internal : Action.t -> Value.t Dist.t -> rule
+
+val input_to : Action.t -> Value.t -> rule
+(** Deterministic (Dirac) shorthand. *)
+
+val output_to : Action.t -> Value.t -> rule
+val internal_to : Action.t -> Value.t -> rule
+
+type entry
+
+val state : Value.t -> rule list -> entry
+
+val make : name:string -> start:Value.t -> entry list -> Psioa.t
+(** Raises [Invalid_argument] on duplicate states, duplicate actions within
+    a state, or a start state not listed. *)

@@ -1,0 +1,58 @@
+type t = { first : Value.t; rev_steps : (Action.t * Value.t) list; len : int }
+
+let init first = { first; rev_steps = []; len = 0 }
+
+let extend e act q' = { e with rev_steps = (act, q') :: e.rev_steps; len = e.len + 1 }
+
+let fstate e = e.first
+
+let lstate e = match e.rev_steps with [] -> e.first | (_, q) :: _ -> q
+
+let length e = e.len
+let steps e = List.rev e.rev_steps
+let actions e = List.rev_map fst e.rev_steps
+
+let states e = e.first :: List.map snd (steps e)
+
+let of_steps first steps =
+  { first; rev_steps = List.rev steps; len = List.length steps }
+
+let concat a b =
+  if not (Value.equal (lstate a) (fstate b)) then
+    invalid_arg "Exec.concat: fragments do not meet";
+  { first = a.first; rev_steps = b.rev_steps @ a.rev_steps; len = a.len + b.len }
+
+let step_compare = Cdse_util.Order.pair Action.compare Value.compare
+
+let compare a b =
+  let c = Value.compare a.first b.first in
+  if c <> 0 then c else Cdse_util.Order.list step_compare (steps a) (steps b)
+
+let equal a b = compare a b = 0
+let hash e = Hashtbl.hash (Value.hash e.first, List.map (fun (a, q) -> (Action.hash a, Value.hash q)) e.rev_steps)
+
+let is_prefix a ~of_ =
+  a.len <= of_.len
+  && Value.equal a.first of_.first
+  &&
+  let rec take n l = if n = 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
+  List.for_all2
+    (fun (x, q) (y, q') -> Action.equal x y && Value.equal q q')
+    (steps a)
+    (take a.len (steps of_))
+
+let trace ~sig_of e =
+  let rec go q = function
+    | [] -> []
+    | (act, q') :: rest ->
+        let s = sig_of q in
+        if Action_set.mem act (Sigs.ext s) then act :: go q' rest else go q' rest
+  in
+  go e.first (steps e)
+
+let pp fmt e =
+  Format.fprintf fmt "@[<hov>%a" Value.pp e.first;
+  List.iter (fun (a, q) -> Format.fprintf fmt "@ —%a→ %a" Action.pp a Value.pp q) (steps e);
+  Format.fprintf fmt "@]"
+
+let to_string e = Format.asprintf "%a" pp e

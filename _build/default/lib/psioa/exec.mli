@@ -1,0 +1,47 @@
+(** Execution fragments, executions and traces (Definition 2.2).
+
+    An execution fragment [α = q⁰ a¹ q¹ a² …] is an alternating sequence of
+    states and actions. Fragments here are always finite (the measure layer
+    works with depth-bounded cones); they are stored with the step list
+    reversed for O(1) extension. *)
+
+type t
+
+val init : Value.t -> t
+(** The zero-length fragment at a state. *)
+
+val extend : t -> Action.t -> Value.t -> t
+(** [α ⌢ (a, q')] — append one step. *)
+
+val fstate : t -> Value.t
+val lstate : t -> Value.t
+
+val length : t -> int
+(** [|α|]: number of transitions. *)
+
+val steps : t -> (Action.t * Value.t) list
+(** Steps in execution order. *)
+
+val states : t -> Value.t list
+(** [q⁰; q¹; …] in order (length + 1 entries). *)
+
+val actions : t -> Action.t list
+
+val of_steps : Value.t -> (Action.t * Value.t) list -> t
+
+val concat : t -> t -> t
+(** [α ⌢ α']; raises [Invalid_argument] unless [fstate α' = lstate α]. *)
+
+val is_prefix : t -> of_:t -> bool
+(** [α ≤ α']. *)
+
+val trace : sig_of:(Value.t -> Sigs.t) -> t -> Action.t list
+(** The trace of [α]: the restriction to actions external in the signature
+    of their source state. [sig_of] is the signature function of the
+    automaton the fragment belongs to. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

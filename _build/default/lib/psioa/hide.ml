@@ -1,0 +1,16 @@
+(** The hiding operator on PSIOA (Definition 2.7).
+
+    [psioa a h] reclassifies, at every state [q], the output actions
+    [h q ∩ out(A)(q)] as internal. Transitions are untouched: hiding only
+    changes external visibility (and hence traces and insight functions). *)
+
+let psioa a h =
+  let signature q = Sigs.hide (Psioa.signature a q) (h q) in
+  Psioa.make
+    ~name:(Psioa.name a)
+    ~start:(Psioa.start a)
+    ~signature
+    ~transition:(Psioa.transition a)
+
+(** Hide a fixed action set at every state. *)
+let psioa_const a set = psioa a (fun _ -> set)

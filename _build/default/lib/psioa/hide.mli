@@ -1,0 +1,13 @@
+(** The hiding operator on PSIOA (Definition 2.7).
+
+    Hiding reclassifies selected output actions as internal: transitions
+    are untouched, only external visibility (traces, insight observations)
+    changes. The secure-emulation systems of Definition 4.26 are built by
+    hiding the adversary-action universe of a composite. *)
+
+val psioa : Psioa.t -> (Value.t -> Action_set.t) -> Psioa.t
+(** [psioa A h]: at every state [q], the outputs in [h q ∩ out(A)(q)]
+    become internal ([hide(A, h)] of Definition 2.7). *)
+
+val psioa_const : Psioa.t -> Action_set.t -> Psioa.t
+(** Hide a fixed action set at every state. *)

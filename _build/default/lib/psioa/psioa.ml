@@ -1,0 +1,122 @@
+open Cdse_prob
+
+type t = {
+  name : string;
+  start : Value.t;
+  signature : Value.t -> Sigs.t;
+  transition : Value.t -> Action.t -> Value.t Dist.t option;
+}
+
+exception Not_enabled of { automaton : string; state : Value.t; action : Action.t }
+
+let make ~name ~start ~signature ~transition = { name; start; signature; transition }
+
+let name a = a.name
+let start a = a.start
+let signature a q = a.signature q
+let transition a q act = a.transition q act
+let enabled a q = Sigs.all (a.signature q)
+let is_enabled a q act = Action_set.mem act (enabled a q)
+
+let step a q act =
+  match a.transition q act with
+  | Some d -> d
+  | None -> raise (Not_enabled { automaton = a.name; state = q; action = act })
+
+let rename_auto name a = { a with name }
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let memoize a =
+  let sig_cache = Vtbl.create 64 in
+  let tr_cache = Hashtbl.create 64 in
+  let signature q =
+    match Vtbl.find_opt sig_cache q with
+    | Some s -> s
+    | None ->
+        let s = a.signature q in
+        Vtbl.add sig_cache q s;
+        s
+  in
+  let transition q act =
+    let key = (q, act) in
+    match Hashtbl.find_opt tr_cache key with
+    | Some d -> d
+    | None ->
+        let d = a.transition q act in
+        Hashtbl.add tr_cache key d;
+        d
+  in
+  { a with signature; transition }
+
+(* Breadth-first exploration of the support graph, in visit order. *)
+let reachable ?(max_states = 10_000) ?(max_depth = max_int) a =
+  let seen = Vtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (a.start, 0) queue;
+  Vtbl.add seen a.start ();
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let q, depth = Queue.pop queue in
+    order := q :: !order;
+    if depth < max_depth then
+      Action_set.iter
+        (fun act ->
+          match a.transition q act with
+          | None -> ()
+          | Some d ->
+              List.iter
+                (fun q' ->
+                  if (not (Vtbl.mem seen q')) && Vtbl.length seen < max_states then begin
+                    Vtbl.add seen q' ();
+                    Queue.add (q', depth + 1) queue
+                  end)
+                (Dist.support d))
+        (Sigs.all (a.signature q))
+  done;
+  List.rev !order
+
+let universal_actions ?max_states ?max_depth a =
+  List.fold_left
+    (fun acc q -> Action_set.union acc (Sigs.all (a.signature q)))
+    Action_set.empty
+    (reachable ?max_states ?max_depth a)
+
+(* Check the Definition 2.1 constraints at one state. *)
+let check_state a q =
+  match a.signature q with
+  | exception Sigs.Not_disjoint msg -> Error (Printf.sprintf "state %s: %s" (Value.to_string q) msg)
+  | s ->
+      let check_action act acc =
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+            match a.transition q act with
+            | None ->
+                Error
+                  (Printf.sprintf "state %s: enabled action %s has no transition"
+                     (Value.to_string q) (Action.to_string act))
+            | Some d ->
+                if Dist.is_proper d then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "state %s, action %s: transition distribution has mass %s"
+                       (Value.to_string q) (Action.to_string act)
+                       (Rat.to_string (Dist.mass d))))
+      in
+      Action_set.fold check_action (Sigs.all s) (Ok ())
+
+let validate ?max_states ?max_depth a =
+  match reachable ?max_states ?max_depth a with
+  | exception Sigs.Not_disjoint msg -> Error msg
+  | states ->
+      List.fold_left
+        (fun acc q -> match acc with Error _ -> acc | Ok () -> check_state a q)
+        (Ok ()) states
+
+let pp fmt a = Format.fprintf fmt "<psioa %s>" a.name

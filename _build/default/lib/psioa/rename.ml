@@ -1,0 +1,18 @@
+type t = Value.t -> Action.t -> Action.t
+
+let psioa a r =
+  let signature q = Sigs.rename (r q) (Psioa.signature a q) in
+  let transition q act =
+    (* Invert r(q) on the finite enabled set to recover the original action. *)
+    let originals = Action_set.elements (Psioa.enabled a q) in
+    match List.find_opt (fun orig -> Action.equal (r q orig) act) originals with
+    | Some orig -> Psioa.transition a q orig
+    | None -> None
+  in
+  Psioa.make ~name:(Psioa.name a) ~start:(Psioa.start a) ~signature ~transition
+
+let prefix p _q act = Action.with_name (fun n -> p ^ n) act
+
+let on_names f _q act = Action.with_name f act
+
+let only set r q act = if Action_set.mem act set then r q act else act

@@ -1,0 +1,27 @@
+(** Action renaming for PSIOA (Definition 2.8, Lemma A.1).
+
+    A renaming [r] gives, for every state [q], an injective map on the
+    enabled actions [sig-hat(A)(q)]. The renamed automaton [r(A)] has the
+    same states and transition measures, with every action relabelled. *)
+
+type t = Value.t -> Action.t -> Action.t
+(** [r q a]: the renaming applied at state [q]. Must be injective on
+    [sig-hat(A)(q)] for each [q] of the automaton it is applied to
+    ({!Sigs.rename} enforces this lazily, raising {!Sigs.Not_disjoint}). *)
+
+val psioa : Psioa.t -> t -> Psioa.t
+(** [r(A)] per Definition 2.8. The transition relation is
+    [{(q, r(a), η) | (q, a, η) ∈ dtrans(A)}]: an incoming renamed action is
+    translated back through the per-state inverse before stepping. *)
+
+val prefix : string -> t
+(** Uniform renaming [a ↦ p ^ a] — always injective. *)
+
+val on_names : (string -> string) -> t
+(** State-independent renaming of action names; injectivity is the
+    caller's obligation (checked lazily per state). *)
+
+val only : Action_set.t -> t -> t
+(** Restrict a renaming to a given action set, leaving others unchanged.
+    Used for the adversary-action renamings [g] of Section 4.9, which only
+    touch [AAct]. *)

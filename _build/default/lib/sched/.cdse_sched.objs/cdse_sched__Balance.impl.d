@@ -1,0 +1,1 @@
+lib/sched/balance.ml: Cdse_prob Insight List Rat Stat

@@ -1,0 +1,1 @@
+lib/sched/balance.mli: Cdse_prob Cdse_psioa Insight Psioa Rat Scheduler

@@ -1,0 +1,1 @@
+lib/sched/insight.ml: Action Action_set Cdse_prob Cdse_psioa Compose Dist Exec List Measure Printf Psioa Rat Stat String Value

@@ -1,0 +1,1 @@
+lib/sched/insight.mli: Cdse_prob Cdse_psioa Dist Exec Psioa Scheduler Value

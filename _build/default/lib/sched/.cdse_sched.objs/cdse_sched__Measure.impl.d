@@ -1,0 +1,1 @@
+lib/sched/measure.ml: Action Cdse_prob Cdse_psioa Cdse_util Dist Exec Hashtbl List Option Psioa Rat Scheduler Value

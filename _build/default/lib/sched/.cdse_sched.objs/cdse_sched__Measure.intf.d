@@ -1,0 +1,1 @@
+lib/sched/measure.mli: Action Cdse_prob Cdse_psioa Dist Exec Psioa Rat Rng Scheduler Value

@@ -1,0 +1,1 @@
+lib/sched/scheduler.mli: Action Cdse_prob Cdse_psioa Dist Exec Psioa Value

@@ -1,0 +1,1 @@
+lib/sched/schema.ml: Cdse_psioa List Printf Psioa Scheduler

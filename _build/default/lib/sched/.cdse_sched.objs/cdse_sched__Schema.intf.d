@@ -1,0 +1,1 @@
+lib/sched/schema.mli: Action Cdse_psioa Psioa Scheduler

@@ -1,0 +1,1 @@
+lib/sched/task.ml: Action Action_set Array Cdse_prob Cdse_psioa Dist Exec List Printf Psioa Scheduler Sigs String

@@ -1,0 +1,1 @@
+lib/sched/task.mli: Action Cdse_psioa Psioa Scheduler Value

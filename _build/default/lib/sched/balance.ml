@@ -1,0 +1,28 @@
+(** Balanced schedulers (Definitions 3.6 and 4.11).
+
+    [σ S^{≤ε}_{E,f} σ'] holds when the observation measures of the two
+    scheduled systems are within sup-set distance [ε]. The observation
+    measures are [f-dist] image measures (Definition 3.5); the sup over
+    observation families collapses to {!Cdse_prob.Stat.sup_set_distance}
+    for the finite measures the bounded setting produces. *)
+
+open Cdse_prob
+
+type verdict = { distance : Rat.t; within : bool }
+
+(** [check ~eps ~depth (f_A, comp_A, σ)  (f_B, comp_B, σ')] computes both
+    f-dists exactly and compares their distance against [ε]. *)
+let check ~eps ~depth (fa, comp_a, sched_a) (fb, comp_b, sched_b) =
+  let da = Insight.apply fa comp_a sched_a ~depth in
+  let db = Insight.apply fb comp_b sched_b ~depth in
+  let distance = Stat.sup_set_distance da db in
+  { distance; within = Rat.compare distance eps <= 0 }
+
+(** Family version (Definition 4.11): check at every index of a window,
+    with index-dependent [ε]. *)
+let check_family ~eps ~depth ~window instances_a instances_b =
+  List.for_all
+    (fun k ->
+      let verdict = check ~eps:(eps k) ~depth:(depth k) (instances_a k) (instances_b k) in
+      verdict.within)
+    window

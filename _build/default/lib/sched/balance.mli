@@ -1,0 +1,30 @@
+(** Balanced schedulers (Definitions 3.6 and 4.11).
+
+    [σ S^{≤ε}_{E,f} σ'] holds when the two scheduled systems' observation
+    measures (f-dists, Definition 3.5) are within sup-set distance [ε].
+    For the finite measures of the bounded setting the Definition 3.6
+    supremum collapses to {!Cdse_prob.Stat.sup_set_distance}. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+type verdict = { distance : Rat.t; within : bool }
+
+val check :
+  eps:Rat.t ->
+  depth:int ->
+  Insight.t * Psioa.t * Scheduler.t ->
+  Insight.t * Psioa.t * Scheduler.t ->
+  verdict
+(** [check ~eps ~depth (f_A, E‖A, σ) (f_B, E‖B, σ')]: compute both f-dists
+    exactly and compare. *)
+
+val check_family :
+  eps:(int -> Rat.t) ->
+  depth:(int -> int) ->
+  window:int list ->
+  (int -> Insight.t * Psioa.t * Scheduler.t) ->
+  (int -> Insight.t * Psioa.t * Scheduler.t) ->
+  bool
+(** Definition 4.11 over a window of family indices with index-dependent
+    slack. *)

@@ -1,0 +1,97 @@
+open Cdse_prob
+open Cdse_psioa
+
+(* Iteratively expand the cone frontier. [alive] holds executions the
+   scheduler may still extend, [finished] the accumulated halting mass. *)
+let exec_dist auto sched ~depth =
+  let rec go step alive finished =
+    if step = depth || alive = [] then
+      Dist.make ~compare:Exec.compare (List.rev_append finished alive)
+    else begin
+      let alive', finished' =
+        List.fold_left
+          (fun (alive_acc, fin_acc) (e, p) ->
+            let choice = Scheduler.validate_choice auto sched e in
+            let halt_mass = Rat.mul p (Dist.deficit choice) in
+            let fin_acc = if Rat.is_zero halt_mass then fin_acc else (e, halt_mass) :: fin_acc in
+            let alive_acc =
+              List.fold_left
+                (fun acc (act, pa) ->
+                  let eta = Psioa.step auto (Exec.lstate e) act in
+                  List.fold_left
+                    (fun acc (q', pq) ->
+                      (Exec.extend e act q', Rat.mul p (Rat.mul pa pq)) :: acc)
+                    acc (Dist.items eta))
+                alive_acc (Dist.items choice)
+            in
+            (alive_acc, fin_acc))
+          ([], finished) alive
+      in
+      go (step + 1) alive' finished'
+    end
+  in
+  go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] []
+
+let cone_prob auto sched alpha =
+  let rec go acc prefix = function
+    | [] -> acc
+    | (act, q') :: rest ->
+        let choice = Scheduler.validate_choice auto sched prefix in
+        let pa = Dist.prob choice act in
+        if Rat.is_zero pa then Rat.zero
+        else
+          let eta = Psioa.step auto (Exec.lstate prefix) act in
+          let pq = Dist.prob eta q' in
+          if Rat.is_zero pq then Rat.zero
+          else go (Rat.mul acc (Rat.mul pa pq)) (Exec.extend prefix act q') rest
+  in
+  if not (Value.equal (Exec.fstate alpha) (Psioa.start auto)) then Rat.zero
+  else go Rat.one (Exec.init (Psioa.start auto)) (Exec.steps alpha)
+
+let trace_dist auto sched ~depth =
+  Dist.map
+    ~compare:(Cdse_util.Order.list Action.compare)
+    (Exec.trace ~sig_of:(Psioa.signature auto))
+    (exec_dist auto sched ~depth)
+
+let n_execs auto sched ~depth = Dist.size (exec_dist auto sched ~depth)
+
+(* Probabilistic reachability: mass of completed executions that visit a
+   state satisfying the predicate within the depth bound. *)
+let reach_prob auto sched ~depth ~pred =
+  let d = exec_dist auto sched ~depth in
+  Rat.sum
+    (List.filter_map
+       (fun (e, p) -> if List.exists pred (Exec.states e) then Some p else None)
+       (Dist.items d))
+
+(* Expected number of scheduled steps of the completed execution. *)
+let expected_steps auto sched ~depth =
+  Dist.expect (fun e -> Rat.of_int (Exec.length e)) (exec_dist auto sched ~depth)
+
+(* Monte-Carlo estimation: drive sampled runs instead of expanding the
+   exact cone tree. The estimator trades exactness for scale — the exact
+   computation is exponential in depth on branching systems (experiment
+   E7), while sampling is linear in [samples × depth]. *)
+let sample_exec auto sched ~rng ~depth =
+  let rec go e n =
+    if n = 0 then e
+    else
+      let choice = Scheduler.validate_choice auto sched e in
+      match Dist.sample rng choice with
+      | None -> e
+      | Some act -> (
+          let eta = Psioa.step auto (Exec.lstate e) act in
+          match Dist.sample rng eta with
+          | None -> e (* unreachable: transition measures are proper *)
+          | Some q' -> go (Exec.extend e act q') (n - 1))
+  in
+  go (Exec.init (Psioa.start auto)) depth
+
+let estimate_fdist auto sched ~observe ~rng ~samples ~depth =
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to samples do
+    let obs = observe (sample_exec auto sched ~rng ~depth) in
+    Hashtbl.replace counts obs (1 + Option.value ~default:0 (Hashtbl.find_opt counts obs))
+  done;
+  Hashtbl.fold (fun obs n acc -> (obs, float_of_int n /. float_of_int samples) :: acc) counts []

@@ -1,0 +1,55 @@
+(** The execution measure [ε_σ] (Section 3).
+
+    A scheduler [σ] induces a probability measure on the σ-field generated
+    by cones of execution fragments. For a depth-bounded computation the
+    measure is a finite discrete distribution over completed executions:
+    an execution is {e completed} when the scheduler halts on it (deficit
+    mass) or the depth limit is reached. When [σ] is [b]-bounded
+    (Definition 4.6) and [depth ≥ b], the result is exactly [ε_σ]. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+val exec_dist : Psioa.t -> Scheduler.t -> depth:int -> Exec.t Dist.t
+(** Exact distribution over completed executions up to [depth] steps.
+    Raises {!Scheduler.Bad_choice} if the scheduler violates the
+    Definition 3.1 support condition. *)
+
+val cone_prob : Psioa.t -> Scheduler.t -> Exec.t -> Rat.t
+(** [ε_σ(C_α)]: the probability that the scheduled run extends [α]
+    (Section 3's cone measure), computed as the product of scheduler and
+    transition probabilities along [α]. *)
+
+val trace_dist : Psioa.t -> Scheduler.t -> depth:int -> Action.t list Dist.t
+(** Pushforward of {!exec_dist} through the trace map (Definition 2.2). *)
+
+val n_execs : Psioa.t -> Scheduler.t -> depth:int -> int
+(** Support size of {!exec_dist} — used by the scaling benchmarks (E7). *)
+
+val reach_prob :
+  Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Cdse_prob.Rat.t
+(** Exact probability that a completed execution visits a state satisfying
+    [pred] within [depth] steps. *)
+
+val expected_steps : Psioa.t -> Scheduler.t -> depth:int -> Cdse_prob.Rat.t
+(** Expected length of the completed execution (exact). *)
+
+(** {2 Monte-Carlo estimation}
+
+    The exact cone expansion is exponential in depth on branching systems;
+    the sampling estimator is linear in [samples × depth] and converges to
+    the exact measure (ablation in experiment E7). Never used by the ε = 0
+    checkers. *)
+
+val sample_exec : Psioa.t -> Scheduler.t -> rng:Rng.t -> depth:int -> Exec.t
+(** One sampled completed execution (halting when the scheduler does). *)
+
+val estimate_fdist :
+  Psioa.t ->
+  Scheduler.t ->
+  observe:(Exec.t -> 'a) ->
+  rng:Rng.t ->
+  samples:int ->
+  depth:int ->
+  ('a * float) list
+(** Empirical observation distribution over [samples] sampled runs. *)

@@ -1,0 +1,74 @@
+open Cdse_prob
+open Cdse_psioa
+
+type t = { name : string; choose : Exec.t -> Action.t Dist.t }
+
+exception Bad_choice of { scheduler : string; state : Value.t; action : Action.t }
+
+let make ~name choose = { name; choose }
+
+let empty_choice = Dist.empty ~compare:Action.compare
+
+let halt = { name = "halt"; choose = (fun _ -> empty_choice) }
+
+(* Locally controlled actions (output ∪ internal) at the last state: the
+   closed-world pool the standard schedulers draw from. Free inputs of the
+   composite are left to explicit (oblivious/custom) schedulers. *)
+let local_pool a e = Sigs.local (Psioa.signature a (Exec.lstate e))
+
+let uniform a =
+  make ~name:(Printf.sprintf "uniform(%s)" (Psioa.name a)) (fun e ->
+      let acts = Action_set.elements (local_pool a e) in
+      match acts with [] -> empty_choice | _ -> Dist.uniform ~compare:Action.compare acts)
+
+let first_enabled a =
+  make ~name:(Printf.sprintf "first(%s)" (Psioa.name a)) (fun e ->
+      match Action_set.min_elt_opt (local_pool a e) with
+      | None -> empty_choice
+      | Some act -> Dist.dirac ~compare:Action.compare act)
+
+let round_robin a =
+  make ~name:(Printf.sprintf "round-robin(%s)" (Psioa.name a)) (fun e ->
+      let acts = Action_set.elements (local_pool a e) in
+      match acts with
+      | [] -> empty_choice
+      | _ -> Dist.dirac ~compare:Action.compare (List.nth acts (Exec.length e mod List.length acts)))
+
+let oblivious a script =
+  let script = Array.of_list script in
+  make ~name:(Printf.sprintf "oblivious(%s,%d)" (Psioa.name a) (Array.length script)) (fun e ->
+      let i = Exec.length e in
+      if i >= Array.length script then empty_choice
+      else
+        let act = script.(i) in
+        if Psioa.is_enabled a (Exec.lstate e) act then Dist.dirac ~compare:Action.compare act
+        else empty_choice)
+
+let oblivious_local a script =
+  let script = Array.of_list script in
+  make ~name:(Printf.sprintf "oblivious-local(%s,%d)" (Psioa.name a) (Array.length script))
+    (fun e ->
+      let i = Exec.length e in
+      if i >= Array.length script then empty_choice
+      else
+        let act = script.(i) in
+        if Action_set.mem act (local_pool a e) then Dist.dirac ~compare:Action.compare act
+        else empty_choice)
+
+(* The bound is carried in the name so that is_bounded can recover it
+   without an extra record field leaking into every scheduler. *)
+let bounded b s =
+  { name = Printf.sprintf "bounded[%d] %s" b s.name;
+    choose = (fun e -> if Exec.length e >= b then empty_choice else s.choose e) }
+
+let is_bounded s = Scanf.sscanf_opt s.name "bounded[%d]" (fun b -> b)
+
+let validate_choice a s e =
+  let d = s.choose e in
+  let en = Psioa.enabled a (Exec.lstate e) in
+  List.iter
+    (fun act ->
+      if not (Action_set.mem act en) then
+        raise (Bad_choice { scheduler = s.name; state = Exec.lstate e; action = act }))
+    (Dist.support d);
+  d

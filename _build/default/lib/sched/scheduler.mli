@@ -1,0 +1,64 @@
+(** Schedulers (Definition 3.1).
+
+    A scheduler of a PSIOA [A] maps each finite execution fragment [α] to a
+    discrete {e sub}-probability measure over the transitions enabled at
+    [lstate α]. Because a PSIOA has exactly one transition per enabled
+    action (transition determinism, Definition 2.1), choosing a transition
+    is choosing an action, so our schedulers return sub-distributions over
+    actions. Mass deficit is the probability of halting after [α]. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+type t = { name : string; choose : Exec.t -> Action.t Dist.t }
+(** [choose α] must be supported on [sig-hat(A)(lstate α)];
+    {!validate_choice} enforces this at measure-computation time. *)
+
+exception Bad_choice of { scheduler : string; state : Value.t; action : Action.t }
+
+val make : name:string -> (Exec.t -> Action.t Dist.t) -> t
+
+val halt : t
+(** Halts immediately (the empty sub-distribution everywhere). *)
+
+(** The three standard schedulers draw from the {e locally controlled}
+    actions (output ∪ internal) of the last state: in a closed composition
+    every action is locally controlled by some component, while free inputs
+    of an open composite are the environment's business and are only fired
+    by explicit ({!oblivious} or custom) schedulers. *)
+
+val uniform : Psioa.t -> t
+(** Uniform over the locally controlled enabled actions; halts when there
+    are none. *)
+
+val first_enabled : Psioa.t -> t
+(** Deterministic: always the least locally controlled enabled action. *)
+
+val round_robin : Psioa.t -> t
+(** Deterministic: at step [i], the [(i mod n)]-th of the [n] locally
+    controlled enabled actions. *)
+
+val oblivious : Psioa.t -> Action.t list -> t
+(** Off-line scheduler: a fixed action sequence decided in advance; at step
+    [i] it fires the [i]-th action if enabled and halts otherwise (and halts
+    when the list is exhausted). Oblivious schedulers are
+    creation-oblivious in the sense of Section 4.4: their decisions do not
+    depend on the states (hence not on which sub-automata are alive). *)
+
+val oblivious_local : Psioa.t -> Action.t list -> t
+(** Like {!oblivious}, but the scripted action additionally has to be
+    locally controlled at the current state: free inputs of an open
+    composite are never fired. The closed-world off-line scheduler — this
+    is the creation-oblivious schema used by the monotonicity results of
+    Section 4.4. *)
+
+val bounded : int -> t -> t
+(** Definition 4.6: [bounded b σ] halts on every fragment with [|α| ≥ b],
+    so it never executes more than [b] actions. *)
+
+val is_bounded : t -> int option
+(** The bound recorded by {!bounded}, if any. *)
+
+val validate_choice : Psioa.t -> t -> Exec.t -> Action.t Dist.t
+(** [choose] with the Definition 3.1 support condition enforced; raises
+    {!Bad_choice} if the scheduler picks a disabled action. *)

@@ -1,0 +1,1 @@
+lib/secure/adversary.ml: Action_set Cdse_psioa Compose Format List Psioa Sigs Structured Value

@@ -1,0 +1,1 @@
+lib/secure/adversary.mli: Cdse_psioa Psioa Structured

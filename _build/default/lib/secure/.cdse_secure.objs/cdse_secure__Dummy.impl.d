@@ -1,0 +1,1 @@
+lib/secure/dummy.ml: Action Action_set Cdse_psioa Psioa Sigs String Value Vdist

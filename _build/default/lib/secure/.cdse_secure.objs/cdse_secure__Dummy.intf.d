@@ -1,0 +1,1 @@
+lib/secure/dummy.mli: Action Action_set Cdse_psioa Psioa Value

@@ -1,0 +1,1 @@
+lib/secure/emulation.ml: Action_set Cdse_psioa Compose Dummy Hide Impl List Printf Psioa Rename Structured

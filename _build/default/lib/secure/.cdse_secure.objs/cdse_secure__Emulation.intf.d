@@ -1,0 +1,1 @@
+lib/secure/emulation.mli: Cdse_prob Cdse_psioa Cdse_sched Dummy Impl Insight Psioa Rat Schema Structured

@@ -1,0 +1,1 @@
+lib/secure/forwarding.ml: Action Action_set Cdse_prob Cdse_psioa Cdse_sched Compose Dist Dummy Exec Hide Insight List Measure Psioa Rat Rename Scheduler Stat Structured Value

@@ -1,0 +1,1 @@
+lib/secure/forwarding.mli: Cdse_prob Cdse_psioa Cdse_sched Dummy Exec Insight Psioa Scheduler Structured

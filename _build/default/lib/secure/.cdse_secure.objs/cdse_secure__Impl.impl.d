@@ -1,0 +1,1 @@
+lib/secure/impl.ml: Cdse_prob Cdse_psioa Cdse_sched Cdse_util Compose Format Insight List Option Printf Psioa Rat Scheduler Schema Stat Value

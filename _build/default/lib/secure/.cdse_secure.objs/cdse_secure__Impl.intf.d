@@ -1,0 +1,1 @@
+lib/secure/impl.mli: Cdse_bounded Cdse_prob Cdse_psioa Cdse_sched Cdse_util Format Insight Psioa Rat Scheduler Schema

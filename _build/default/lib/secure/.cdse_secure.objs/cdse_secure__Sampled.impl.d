@@ -1,0 +1,1 @@
+lib/secure/sampled.ml: Cdse_prob Cdse_psioa Cdse_sched Compose Float Insight List Measure Option Rng Schema Value

@@ -1,0 +1,1 @@
+lib/secure/sampled.mli: Cdse_psioa Cdse_sched Insight Psioa Scheduler Schema

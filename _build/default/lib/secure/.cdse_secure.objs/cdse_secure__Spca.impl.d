@@ -1,0 +1,1 @@
+lib/secure/spca.ml: Action_set Cdse_config Cdse_psioa Config Format List Pca Psioa Registry Sigs Structured Value

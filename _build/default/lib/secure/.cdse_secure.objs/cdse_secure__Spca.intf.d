@@ -1,0 +1,1 @@
+lib/secure/spca.mli: Action_set Cdse_config Cdse_psioa Config Pca Structured Value

@@ -1,0 +1,1 @@
+lib/secure/structured.ml: Action_set Cdse_psioa Compose Format Hide List Psioa Rename Sigs Value

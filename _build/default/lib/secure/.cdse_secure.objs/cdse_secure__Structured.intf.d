@@ -1,0 +1,1 @@
+lib/secure/structured.mli: Action_set Cdse_psioa Psioa Rename Value

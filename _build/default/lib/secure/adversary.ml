@@ -1,0 +1,47 @@
+open Cdse_psioa
+
+let on_composite_states ?max_states ?max_depth ~structured ~adv check =
+  let a = Structured.psioa structured in
+  let comp = Compose.pair a adv in
+  List.fold_left
+    (fun acc q ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+          let qa, qadv = Compose.proj_pair q in
+          check ~qa ~qadv)
+    (Ok ())
+    (Psioa.reachable ?max_states ?max_depth comp)
+
+let check ?max_states ?max_depth ~structured adv =
+  match Compose.partially_compatible ?max_states ?max_depth [ Structured.psioa structured; adv ] with
+  | false -> Error "adversary not partially compatible with the structured automaton"
+  | true ->
+      on_composite_states ?max_states ?max_depth ~structured ~adv (fun ~qa ~qadv ->
+          let adv_sig = Psioa.signature adv qadv in
+          if not (Action_set.subset (Structured.ai structured qa) (Sigs.output adv_sig)) then
+            Error
+              (Format.asprintf "state (%a,%a): AI_A ⊄ out(Adv)" Value.pp qa Value.pp qadv)
+          else if
+            not (Action_set.disjoint (Structured.eact structured qa) (Sigs.all adv_sig))
+          then
+            Error
+              (Format.asprintf "state (%a,%a): adversary touches EAct_A" Value.pp qa Value.pp qadv)
+          else Ok ())
+
+let is_adversary ?max_states ?max_depth ~structured adv =
+  match check ?max_states ?max_depth ~structured adv with Ok () -> true | Error _ -> false
+
+let full_control ?max_states ?max_depth ~structured adv =
+  is_adversary ?max_states ?max_depth ~structured adv
+  &&
+  match
+    on_composite_states ?max_states ?max_depth ~structured ~adv (fun ~qa ~qadv ->
+        if
+          Action_set.subset (Structured.ao structured qa)
+            (Sigs.input (Psioa.signature adv qadv))
+        then Ok ()
+        else Error "AO_A ⊄ in(Adv)")
+  with
+  | Ok () -> true
+  | Error _ -> false

@@ -1,0 +1,22 @@
+(** Adversaries for structured automata (Definition 4.24, Lemma 4.25).
+
+    An adversary [Adv] for [(A, EAct_A)] is a PSIOA, partially compatible
+    with [A], such that at every reachable composite state (i) the
+    adversary inputs of [A] are outputs of [Adv] — the adversary drives the
+    attack surface — and (ii) [Adv] never touches the environment actions
+    of [A]. *)
+
+open Cdse_psioa
+
+val check :
+  ?max_states:int -> ?max_depth:int -> structured:Structured.t -> Psioa.t -> (unit, string) result
+(** Verify the two Definition 4.24 conditions on the explored reachable
+    states of [A ‖ Adv]. *)
+
+val is_adversary : ?max_states:int -> ?max_depth:int -> structured:Structured.t -> Psioa.t -> bool
+
+val full_control :
+  ?max_states:int -> ?max_depth:int -> structured:Structured.t -> Psioa.t -> bool
+(** The stronger condition assumed by the dummy-adversary reduction
+    (Lemma D.1): additionally every adversary output of [A] is an input of
+    [Adv], so all [AAct] traffic flows through the adversary. *)

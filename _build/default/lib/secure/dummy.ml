@@ -1,0 +1,48 @@
+open Cdse_psioa
+
+type renaming = { apply : Action.t -> Action.t; invert : Action.t -> Action.t option }
+
+let prefix_renaming prefix =
+  let apply a = Action.with_name (fun n -> prefix ^ n) a in
+  let invert a =
+    let n = Action.name a in
+    let plen = String.length prefix in
+    if String.length n > plen && String.sub n 0 plen = prefix then
+      Some (Action.with_name (fun _ -> String.sub n plen (String.length n - plen)) a)
+    else None
+  in
+  { apply; invert }
+
+let idle = Value.tag "dummy-idle" Value.unit
+
+let pending_state a = Value.tag "dummy-pending" (Value.Tag (Action.name a, Action.payload a))
+
+let pending_of = function
+  | Value.Tag ("dummy-pending", Value.Tag (name, payload)) -> Some (Action.make ~payload name)
+  | _ -> None
+
+let make ~name ~ai ~ao ~g =
+  let inputs = Action_set.union ao (Action_set.map_actions g.apply ai) in
+  let out_for q =
+    match pending_of q with
+    | None -> Action_set.empty
+    | Some p -> (
+        match g.invert p with
+        | Some b when Action_set.mem b ai ->
+            (* pending ∈ g(AI_A): forward the unrenamed command into A. *)
+            Action_set.singleton b
+        | _ when Action_set.mem p ao ->
+            (* pending ∈ AO_A: forward the renamed report to the outer
+               adversary. *)
+            Action_set.singleton (g.apply p)
+        | _ -> Action_set.empty)
+  in
+  let signature q =
+    Sigs.make ~input:inputs ~output:(out_for q) ~internal:Action_set.empty
+  in
+  let transition q act =
+    if Action_set.mem act inputs then Some (Vdist.dirac (pending_state act))
+    else if Action_set.mem act (out_for q) then Some (Vdist.dirac idle)
+    else None
+  in
+  Psioa.make ~name ~start:idle ~signature ~transition

@@ -1,0 +1,55 @@
+(** Structured PSIOA (Definitions 4.17–4.19).
+
+    A structured PSIOA partitions each state's external actions into
+    {e environment} actions [EAct] (the protocol's functional interface)
+    and {e adversary} actions [AAct = ext ∖ EAct] (the attack surface).
+    Compatibility additionally demands that shared actions be environment
+    actions of both parties (Definition 4.18), so composition never fuses
+    automata through their attack surfaces. *)
+
+open Cdse_psioa
+
+type t
+
+val make : Psioa.t -> eact:(Value.t -> Action_set.t) -> t
+val psioa : t -> Psioa.t
+val name : t -> string
+
+val eact : t -> Value.t -> Action_set.t
+(** [EAct_A(q) ⊆ ext(A)(q)]. *)
+
+val aact : t -> Value.t -> Action_set.t
+(** [AAct_A(q) = ext(A)(q) ∖ EAct_A(q)]. *)
+
+val ei : t -> Value.t -> Action_set.t
+(** Environment inputs [EAct ∩ in]. *)
+
+val eo : t -> Value.t -> Action_set.t
+val ai : t -> Value.t -> Action_set.t
+val ao : t -> Value.t -> Action_set.t
+
+val aact_universe : ?max_states:int -> ?max_depth:int -> t -> Action_set.t
+(** The underlined [AAct_A]: union of [AAct_A(q)] over explored reachable
+    states — domain of the adversary renamings [g] of Section 4.9. *)
+
+val ai_universe : ?max_states:int -> ?max_depth:int -> t -> Action_set.t
+val ao_universe : ?max_states:int -> ?max_depth:int -> t -> Action_set.t
+
+val validate : ?max_states:int -> ?max_depth:int -> t -> (unit, string) result
+(** Check [EAct_A(q) ⊆ ext(A)(q)] on the explored states (and the
+    underlying PSIOA constraints). *)
+
+val compatible : ?max_states:int -> ?max_depth:int -> t -> t -> bool
+(** Definition 4.18: partial compatibility of the underlying PSIOA, plus
+    "every shared action is an environment action of both" at reachable
+    composite states. *)
+
+val compose : ?name:string -> t -> t -> t
+(** Definition 4.19: [A₁ ‖ A₂] with [EAct = EAct₁ ∪ EAct₂] (pointwise on
+    pair states). *)
+
+val hide : t -> (Value.t -> Action_set.t) -> t
+(** [hide((A, EAct_A), S) = (hide(A, S), EAct_A ∖ S)] (Definition 4.17). *)
+
+val rename : t -> Rename.t -> t
+(** Apply an action renaming to the automaton and both partitions. *)

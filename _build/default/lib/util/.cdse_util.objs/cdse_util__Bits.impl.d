@@ -1,0 +1,1 @@
+lib/util/bits.ml: Array Bytes Char Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/util/poly.ml: Array Format List

@@ -1,0 +1,114 @@
+type t = { len : int; data : Bytes.t }
+
+let empty = { len = 0; data = Bytes.empty }
+let length b = b.len
+
+let bytes_for len = (len + 7) / 8
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Bits.get: index out of range";
+  let byte = Char.code (Bytes.get b.data (i / 8)) in
+  byte land (0x80 lsr (i mod 8)) <> 0
+
+(* Internal: build from a generator function. *)
+let init len f =
+  if len < 0 then invalid_arg "Bits.init: negative length";
+  let data = Bytes.make (bytes_for len) '\000' in
+  for i = 0 to len - 1 do
+    if f i then begin
+      let j = i / 8 in
+      let cur = Char.code (Bytes.get data j) in
+      Bytes.set data j (Char.chr (cur lor (0x80 lsr (i mod 8))))
+    end
+  done;
+  { len; data }
+
+let of_bool_list l =
+  let arr = Array.of_list l in
+  init (Array.length arr) (Array.get arr)
+
+let to_bool_list b = List.init b.len (get b)
+let singleton x = init 1 (fun _ -> x)
+
+let append a b =
+  if a.len = 0 then b
+  else if b.len = 0 then a
+  else
+    init (a.len + b.len) (fun i -> if i < a.len then get a i else get b (i - a.len))
+
+let concat l = List.fold_left append empty l
+
+let of_int ~width n =
+  if width < 0 || width > 62 then invalid_arg "Bits.of_int: width out of range";
+  init width (fun i -> n land (1 lsl (width - 1 - i)) <> 0)
+
+let to_int b =
+  if b.len > 62 then invalid_arg "Bits.to_int: too long";
+  let rec go acc i = if i >= b.len then acc else go ((acc lsl 1) lor (if get b i then 1 else 0)) (i + 1) in
+  go 0 0
+
+(* Elias-gamma on n+1 so that 0 is encodable: unary prefix of (width-1)
+   zeros, then the binary digits of n+1 (whose leading bit is 1). *)
+let encode_nat n =
+  if n < 0 then invalid_arg "Bits.encode_nat: negative";
+  let m = n + 1 in
+  let width =
+    let rec go w v = if v = 0 then w else go (w + 1) (v lsr 1) in
+    go 0 m
+  in
+  append (init (width - 1) (fun _ -> false)) (of_int ~width m)
+
+let of_string s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bits.of_string: bad char %C" c))
+
+let to_string b = String.init b.len (fun i -> if get b i then '1' else '0')
+
+let equal a b = a.len = b.len && to_string a = to_string b
+
+let compare a b =
+  let c = Int.compare a.len b.len in
+  if c <> 0 then c else String.compare (to_string a) (to_string b)
+
+let pp fmt b = Format.pp_print_string fmt (to_string b)
+
+module Reader = struct
+  type bits = t
+  type nonrec t = { bits : bits; mutable p : int }
+
+  let make bits = { bits; p = 0 }
+  let pos r = r.p
+  let remaining r = r.bits.len - r.p
+  let at_end r = r.p >= r.bits.len
+
+  let read_bit r =
+    if at_end r then invalid_arg "Bits.Reader.read_bit: exhausted";
+    let v = get r.bits r.p in
+    r.p <- r.p + 1;
+    v
+
+  let read_int ~width r =
+    let rec go acc i = if i = 0 then acc else go ((acc lsl 1) lor (if read_bit r then 1 else 0)) (i - 1) in
+    go 0 width
+
+  let read_nat r =
+    (* The unary prefix must terminate in a 1 bit within the stream: a
+       truncated stream is malformed, not a zero. *)
+    let rec zeros n =
+      if at_end r then invalid_arg "Bits.Reader.read_nat: truncated input"
+      else if read_bit r then n
+      else zeros (n + 1)
+    in
+    let z = zeros 0 in
+    (* We already consumed the leading 1 of the binary part. *)
+    let rest = read_int ~width:z r in
+    ((1 lsl z) lor rest) - 1
+
+  let read_bits n r =
+    let b = init n (fun i -> get r.bits (r.p + i)) in
+    r.p <- r.p + n;
+    b
+end

@@ -1,0 +1,72 @@
+(** Immutable bit strings with self-delimiting codes.
+
+    This module is the substrate for the bit-string representations
+    [⟨q⟩, ⟨a⟩, ⟨tr⟩, ⟨C⟩] of Section 4.1 of the paper ("We adopt a standard
+    bit-representation ..."). All encodings used by the bounded layer
+    ({!Cdse_bounded}) bottom out here. Bit strings are packed MSB-first into
+    bytes; all operations are purely functional. *)
+
+type t
+(** An immutable sequence of bits. *)
+
+val empty : t
+
+val length : t -> int
+(** Number of bits. *)
+
+val get : t -> int -> bool
+(** [get b i] is bit [i] (0-based). Raises [Invalid_argument] if out of
+    range. *)
+
+val of_bool_list : bool list -> t
+val to_bool_list : t -> bool list
+
+val singleton : bool -> t
+
+val append : t -> t -> t
+(** [append a b] is the concatenation [a · b]. O(|a| + |b|). *)
+
+val concat : t list -> t
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] is the [width]-bit big-endian encoding of
+    [n land (2^width - 1)]. Raises [Invalid_argument] on negative [width] or
+    [width > 62]. *)
+
+val to_int : t -> int
+(** Big-endian value of the whole bit string. Raises [Invalid_argument] when
+    longer than 62 bits. *)
+
+val encode_nat : int -> t
+(** Self-delimiting (Elias-gamma style) encoding of a natural number, usable
+    as a prefix of a longer code. Raises [Invalid_argument] on negatives. *)
+
+val of_string : string -> t
+(** [of_string "0101"] parses a literal bit string. Raises
+    [Invalid_argument] on characters other than ['0'] and ['1']. *)
+
+val to_string : t -> string
+(** Literal rendering, e.g. ["0101"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Sequential decoding cursor over a bit string. *)
+module Reader : sig
+  type bits := t
+  type t
+
+  val make : bits -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val read_bit : t -> bool
+  (** Raises [Invalid_argument] when exhausted. *)
+
+  val read_int : width:int -> t -> int
+  val read_nat : t -> int
+  (** Inverse of {!encode_nat}. *)
+
+  val read_bits : int -> t -> bits
+  val at_end : t -> bool
+end

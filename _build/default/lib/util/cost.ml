@@ -1,0 +1,20 @@
+let counter = ref 0
+let reset () = counter := 0
+let tick ?(n = 1) () = counter := !counter + n
+let get () = !counter
+
+let measure f =
+  let saved = !counter in
+  counter := 0;
+  let finish () =
+    let spent = !counter in
+    counter := saved + spent;
+    spent
+  in
+  match f () with
+  | v ->
+      let spent = finish () in
+      (v, spent)
+  | exception e ->
+      ignore (finish ());
+      raise e

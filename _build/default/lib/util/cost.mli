@@ -1,0 +1,21 @@
+(** Global step meter standing in for Turing-machine running time.
+
+    Definition 4.1 of the paper bounds automata by the running time of
+    decoding machines [M_start, M_sig, M_trans, M_step, M_state]. We replace
+    Turing machines by cost-metered OCaml interpreters: every primitive step
+    of an encoder/decoder calls {!tick}, and "runs in time at most b" becomes
+    "the meter advanced by at most b" (see DESIGN.md, substitution table). *)
+
+val reset : unit -> unit
+(** Reset the meter to zero. *)
+
+val tick : ?n:int -> unit -> unit
+(** Advance the meter by [n] (default 1). *)
+
+val get : unit -> int
+(** Current meter value. *)
+
+val measure : (unit -> 'a) -> 'a * int
+(** [measure f] runs [f] with a fresh meter and returns its result together
+    with the number of steps it consumed. The enclosing meter (if any) is
+    advanced by the same amount, so nested measurements compose. *)

@@ -1,0 +1,41 @@
+(** Comparator combinators shared across the library. *)
+
+type 'a t = 'a -> 'a -> int
+
+let pair cmp_a cmp_b (a1, b1) (a2, b2) =
+  let c = cmp_a a1 a2 in
+  if c <> 0 then c else cmp_b b1 b2
+
+let triple cmp_a cmp_b cmp_c (a1, b1, c1) (a2, b2, c2) =
+  let c = cmp_a a1 a2 in
+  if c <> 0 then c
+  else
+    let c = cmp_b b1 b2 in
+    if c <> 0 then c else cmp_c c1 c2
+
+let rec list cmp l1 l2 =
+  match (l1, l2) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = cmp x y in
+      if c <> 0 then c else list cmp xs ys
+
+let option cmp o1 o2 =
+  match (o1, o2) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some a, Some b -> cmp a b
+
+let by f cmp a b = cmp (f a) (f b)
+
+let lex cmps a b =
+  let rec go = function
+    | [] -> 0
+    | c :: rest ->
+        let r = c a b in
+        if r <> 0 then r else go rest
+  in
+  go cmps

@@ -1,0 +1,23 @@
+(** Comparator combinators.
+
+    Exact distributions ({!Cdse_prob.Dist}) carry explicit element
+    comparators rather than going through functorised sets; these
+    combinators assemble them for the product, list and option shapes the
+    composition operators produce. *)
+
+type 'a t = 'a -> 'a -> int
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val list : 'a t -> 'a list t
+(** Lexicographic, shorter lists first on shared prefixes. *)
+
+val option : 'a t -> 'a option t
+(** [None] smallest. *)
+
+val by : ('a -> 'b) -> 'b t -> 'a t
+(** Compare through a projection. *)
+
+val lex : 'a t list -> 'a t
+(** First non-zero comparator wins. *)

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Bignat Cdse_prob Dist Float Format Fprob Fun Int List QCheck QCheck_alcotest Rat Rng Stat

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Astring Bits Buffer Cdse_util Cost Format Int List Order Poly Pretty Printf QCheck QCheck_alcotest String

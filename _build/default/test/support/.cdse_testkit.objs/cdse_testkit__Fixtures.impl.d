@@ -1,0 +1,1 @@
+test/support/fixtures.ml: Cdse_gen

@@ -1,0 +1,1 @@
+test/support/sfixtures.ml: Cdse_gen

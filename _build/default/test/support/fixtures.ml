@@ -1,0 +1,2 @@
+(** Test-suite alias for the shared workload generators. *)
+include Cdse_gen.Workloads

@@ -1,0 +1,2 @@
+(** Test-suite alias for the structured workload generators. *)
+include Cdse_gen.Sworkloads

@@ -1,0 +1,244 @@
+(* Tests for the bounded layer: encodings (Sec 4), decoding machines and
+   time bounds (Defs 4.1-4.2), boundedness preservation under composition
+   (Lemma 4.3) and hiding (Lemma 4.5), families (Defs 4.7-4.10) and
+   negligible functions. *)
+
+open Cdse_prob
+open Cdse_psioa
+open Cdse_bounded
+open Cdse_testkit
+
+let act = Fixtures.act
+
+let coin = Fixtures.coin "c"
+let counter = Fixtures.counter ~bound:3 "k"
+
+(* ---------------------------------------------------------------- Encode *)
+
+let test_encode_lengths_positive () =
+  let q = Psioa.start coin in
+  Alcotest.(check bool) "state bits" true (Cdse_util.Bits.length (Encode.state q) > 0);
+  Alcotest.(check bool) "action bits" true (Cdse_util.Bits.length (Encode.action (act "c.flip")) > 0);
+  let eta = Psioa.step coin q (act "c.flip") in
+  Alcotest.(check bool) "transition bits" true
+    (Cdse_util.Bits.length (Encode.transition q (act "c.flip") eta) > 0)
+
+let test_encode_action_set_grows () =
+  let s1 = Action_set.of_list [ act "a" ] in
+  let s2 = Action_set.of_list [ act "a"; act "b"; act "c" ] in
+  Alcotest.(check bool) "monotone" true
+    (Cdse_util.Bits.length (Encode.action_set s2) > Cdse_util.Bits.length (Encode.action_set s1))
+
+(* -------------------------------------------------------------- Machines *)
+
+let test_m_start () =
+  let yes, c1 = Machines.m_start coin (Encode.state (Psioa.start coin)) in
+  Alcotest.(check bool) "start accepted" true yes;
+  Alcotest.(check bool) "cost positive" true (c1 > 0);
+  let no, _ = Machines.m_start coin (Encode.state (Value.tag "heads" Value.unit)) in
+  Alcotest.(check bool) "non-start rejected" false no
+
+let test_m_sig () =
+  let q = Encode.state (Psioa.start coin) in
+  let flip = Encode.action (act "c.flip") in
+  Alcotest.(check bool) "flip internal" true (fst (Machines.m_sig coin q flip `Internal));
+  Alcotest.(check bool) "flip not output" false (fst (Machines.m_sig coin q flip `Output));
+  Alcotest.(check bool) "flip not input" false (fst (Machines.m_sig coin q flip `Input))
+
+let test_m_trans_accepts_and_rejects () =
+  let q = Psioa.start coin in
+  let eta = Psioa.step coin q (act "c.flip") in
+  let good = Encode.transition q (act "c.flip") eta in
+  Alcotest.(check bool) "real transition accepted" true (fst (Machines.m_trans coin good));
+  (* Wrong action: not a transition. *)
+  let bad = Encode.transition q (act "c.heads") eta in
+  Alcotest.(check bool) "wrong action rejected" false (fst (Machines.m_trans coin bad));
+  (* Wrong probabilities: claim dirac where the coin is fair. *)
+  let skewed = Encode.transition q (act "c.flip") (Vdist.dirac (Value.tag "heads" Value.unit)) in
+  Alcotest.(check bool) "skewed measure rejected" false (fst (Machines.m_trans coin skewed));
+  (* Garbage bits. *)
+  let garbage = Cdse_util.Bits.of_string "1111111100000001" in
+  Alcotest.(check bool) "garbage rejected" false (fst (Machines.m_trans coin garbage))
+
+let test_m_step () =
+  let q = Psioa.start coin in
+  let eta = Psioa.step coin q (act "c.flip") in
+  let tr = Encode.transition q (act "c.flip") eta in
+  Alcotest.(check bool) "heads is a step" true
+    (fst (Machines.m_step coin tr (Encode.state (Value.tag "heads" Value.unit))));
+  Alcotest.(check bool) "init is not a step" false
+    (fst (Machines.m_step coin tr (Encode.state q)))
+
+let test_m_state_samples_support () =
+  let rng = Rng.make 7 in
+  let q = Encode.state (Psioa.start coin) in
+  let flip = Encode.action (act "c.flip") in
+  for _ = 1 to 50 do
+    let out, cost = Machines.m_state coin rng q flip in
+    let q' = Value.of_bits out in
+    Alcotest.(check bool) "in support" true
+      (Value.equal q' (Value.tag "heads" Value.unit) || Value.equal q' (Value.tag "tails" Value.unit));
+    Alcotest.(check bool) "cost positive" true (cost > 0)
+  done
+
+(* --------------------------------------------------------------- Bounded *)
+
+let test_measure_psioa_coin () =
+  let r = Bounded.measure_psioa coin in
+  Alcotest.(check int) "explored all states" 3 r.states_explored;
+  Alcotest.(check bool) "bound positive" true (r.bound > 0);
+  Alcotest.(check bool) "bound dominates parts" true (r.bound >= r.max_part_bits);
+  Alcotest.(check bool) "is bounded at own bound" true (Bounded.is_time_bounded coin ~b:r.bound);
+  Alcotest.(check bool) "not bounded below" false (Bounded.is_time_bounded coin ~b:(r.bound - 1))
+
+let test_lemma_43_composition_bound () =
+  (* Lemma 4.3 shape: bound(A1||A2) ≤ c_comp (b1 + b2) for a modest
+     constant. *)
+  let r1 = Bounded.measure_psioa coin in
+  let r2 = Bounded.measure_psioa counter in
+  let r12 = Bounded.measure_psioa (Compose.pair coin counter) in
+  let ratio = Bounded.comp_ratio r1 r2 r12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "c_comp = %.3f ≤ 4" ratio)
+    true (ratio <= 4.0)
+
+let test_lemma_43_pca () =
+  let reg = Registry.of_list [ Fixtures.fragile "f1" ] in
+  let reg2 = Registry.of_list [ Fixtures.fragile "f2" ] in
+  let p1 = Cdse_config.Pca.make ~name:"p1" ~registry:reg ~init:(Cdse_config.Config.start_of reg [ "f1" ]) () in
+  let p2 = Cdse_config.Pca.make ~name:"p2" ~registry:reg2 ~init:(Cdse_config.Config.start_of reg2 [ "f2" ]) () in
+  let r1 = Bounded.measure_pca p1 and r2 = Bounded.measure_pca p2 in
+  let r12 = Bounded.measure_pca (Cdse_config.Pca.compose_pair p1 p2) in
+  let ratio = Bounded.comp_ratio r1 r2 r12 in
+  Alcotest.(check bool) (Printf.sprintf "c'_comp = %.3f ≤ 4" ratio) true (ratio <= 4.0)
+
+let test_lemma_45_hiding_bound () =
+  let r = Bounded.measure_psioa coin in
+  let hidden_set = Action_set.of_list [ act "c.heads" ] in
+  let hidden = Hide.psioa_const coin hidden_set in
+  let r' = Bounded.measure_psioa hidden in
+  let recognizer_bits = Cdse_util.Bits.length (Encode.action_set hidden_set) in
+  let ratio = Bounded.hide_ratio ~before:r ~after:r' ~recognizer_bits in
+  Alcotest.(check bool) (Printf.sprintf "c_hide = %.3f ≤ 2" ratio) true (ratio <= 2.0)
+
+(* ---------------------------------------------------------------- Family *)
+
+let counter_family : Psioa.t Family.t = fun k -> Fixtures.counter ~bound:(1 + k) "k"
+let coin_family : Psioa.t Family.t = fun _ -> coin
+
+let test_family_compose () =
+  let fam = Family.compose_psioa coin_family counter_family in
+  match Psioa.validate (fam 2) with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_family_compatible_window () =
+  Alcotest.(check bool) "compatible" true
+    (Family.compatible_window ~window:[ 1; 2; 3 ] coin_family counter_family)
+
+let test_family_time_bounded_window () =
+  (* The counter family's states grow like log k: a generous linear bound
+     holds on the window. *)
+  let window = [ 1; 2; 4; 8 ] in
+  Alcotest.(check bool) "linear bound holds" true
+    (Family.time_bounded_window ~window ~bound:(fun k -> 2000 + (100 * k)) counter_family);
+  Alcotest.(check bool) "zero bound fails" false
+    (Family.time_bounded_window ~window ~bound:(fun _ -> 1) counter_family)
+
+let test_family_map_const () =
+  let doubled = Family.map (fun a -> Compose.pair a a) coin_family in
+  (* Self-composition of the coin shares outputs with itself: invalid —
+     use distinct names through map2 instead. *)
+  ignore doubled;
+  let named = Family.map2 (fun a b -> Compose.pair a b) coin_family counter_family in
+  (match Psioa.validate (named 3) with Ok () -> () | Error e -> Alcotest.fail e);
+  let c = Family.const 42 in
+  Alcotest.(check int) "const" 42 (c 7)
+
+let test_balance_check_family () =
+  (* Definition 4.11 via Balance.check_family: identical coin families are
+     balanced at ε(k) = 0 on a window; fair-vs-biased is not. *)
+  let instance p k =
+    let c = Fixtures.coin ~p "c" in
+    let env = Fixtures.acceptor ~watch:[ ("c.heads", None) ] "env" in
+    let comp = Compose.pair env c in
+    ignore k;
+    ( Cdse_sched.Insight.accept comp,
+      comp,
+      Cdse_sched.Scheduler.bounded 4 (Cdse_sched.Scheduler.first_enabled comp) )
+  in
+  let fair = instance Rat.half and biased = instance (Rat.of_ints 3 4) in
+  Alcotest.(check bool) "identical families balanced" true
+    (Cdse_sched.Balance.check_family
+       ~eps:(fun _ -> Rat.zero)
+       ~depth:(fun _ -> 6)
+       ~window:[ 1; 2; 3 ] fair fair);
+  Alcotest.(check bool) "biased family unbalanced at 0" false
+    (Cdse_sched.Balance.check_family
+       ~eps:(fun _ -> Rat.zero)
+       ~depth:(fun _ -> 6)
+       ~window:[ 1; 2; 3 ] fair biased)
+
+let test_fit_poly_bound () =
+  let window = [ 1; 2; 3; 4; 5 ] in
+  let f k = (3 * k * k) + 1 in
+  match Family.fit_poly_bound ~window ~degree:2 f with
+  | None -> Alcotest.fail "no fit"
+  | Some p ->
+      Alcotest.(check bool) "dominates" true (Cdse_util.Poly.dominates p f ~from:1 ~upto:5)
+
+(* ------------------------------------------------------------ Negligible *)
+
+let test_negligible_inv_pow2 () =
+  Alcotest.(check bool) "2^-k negligible (deg 3)" true
+    (Negligible.is_negligible_window ~degree:3 ~from:20 ~upto:40 Negligible.inv_pow2);
+  Alcotest.(check bool) "zero negligible" true
+    (Negligible.is_negligible_window ~degree:5 ~from:1 ~upto:40 Negligible.zero)
+
+let test_negligible_rejects_inverse_poly () =
+  Alcotest.(check bool) "1/k^2 fails at degree 3" false
+    (Negligible.is_negligible_window ~degree:3 ~from:10 ~upto:30 (Negligible.inv_poly 2))
+
+let test_negligible_closed_under_add () =
+  let e = Negligible.add Negligible.inv_pow2 Negligible.inv_pow2 in
+  Alcotest.(check bool) "sum still negligible" true
+    (Negligible.is_negligible_window ~degree:3 ~from:20 ~upto:40 e)
+
+let test_negligible_mul_poly () =
+  (* Polynomial factors preserve negligibility (hybrid arguments). *)
+  (* 5k²·2^-k ≤ 1/k³ ⟺ 5k⁵ ≤ 2^k, which first holds at k = 26. *)
+  let e = Negligible.mul_poly (Cdse_util.Poly.of_coeffs [ 0; 0; 5 ]) Negligible.inv_pow2 in
+  Alcotest.(check bool) "5k²·2^-k negligible" true
+    (Negligible.is_negligible_window ~degree:3 ~from:27 ~upto:45 e)
+
+let test_negligible_pointwise () =
+  Alcotest.(check bool) "2^-k ≤ 1 pointwise" true
+    (Negligible.le_pointwise ~window:[ 1; 5; 10 ] Negligible.inv_pow2 (fun _ -> Rat.one))
+
+let () =
+  Alcotest.run "cdse_bounded"
+    [ ( "encode",
+        [ Alcotest.test_case "lengths positive" `Quick test_encode_lengths_positive;
+          Alcotest.test_case "action set monotone" `Quick test_encode_action_set_grows ] );
+      ( "machines",
+        [ Alcotest.test_case "M_start" `Quick test_m_start;
+          Alcotest.test_case "M_sig" `Quick test_m_sig;
+          Alcotest.test_case "M_trans accept/reject" `Quick test_m_trans_accepts_and_rejects;
+          Alcotest.test_case "M_step" `Quick test_m_step;
+          Alcotest.test_case "M_state samples support" `Quick test_m_state_samples_support ] );
+      ( "bounded",
+        [ Alcotest.test_case "measure coin" `Quick test_measure_psioa_coin;
+          Alcotest.test_case "Lemma 4.3 (PSIOA composition)" `Quick test_lemma_43_composition_bound;
+          Alcotest.test_case "Lemma 4.3 (PCA composition)" `Quick test_lemma_43_pca;
+          Alcotest.test_case "Lemma 4.5 (hiding)" `Quick test_lemma_45_hiding_bound ] );
+      ( "family",
+        [ Alcotest.test_case "pointwise composition" `Quick test_family_compose;
+          Alcotest.test_case "compatibility window" `Quick test_family_compatible_window;
+          Alcotest.test_case "time-bounded window (Def 4.8)" `Quick test_family_time_bounded_window;
+          Alcotest.test_case "poly fit dominates" `Quick test_fit_poly_bound;
+          Alcotest.test_case "map2/const combinators" `Quick test_family_map_const;
+          Alcotest.test_case "balanced families (Def 4.11)" `Quick test_balance_check_family ] );
+      ( "negligible",
+        [ Alcotest.test_case "2^-k negligible" `Quick test_negligible_inv_pow2;
+          Alcotest.test_case "1/k^d rejected" `Quick test_negligible_rejects_inverse_poly;
+          Alcotest.test_case "closed under addition" `Quick test_negligible_closed_under_add;
+          Alcotest.test_case "closed under poly factors" `Quick test_negligible_mul_poly;
+          Alcotest.test_case "pointwise order" `Quick test_negligible_pointwise ] ) ]
