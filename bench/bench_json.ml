@@ -1,0 +1,102 @@
+(* Persisted benchmark trajectory: emits BENCH_cdse.json next to the repo
+   root, recording the current micro ns/op numbers and wall-clock
+   [Measure.exec_dist] timings (depths 3-6 on the coin / random-walk /
+   committee workloads) against the pre-optimization baseline hardcoded
+   below. Regenerate with [dune exec bench/main.exe -- micro]. *)
+
+open Cdse
+
+(* ns/op on the seed revision (list-backed Dist, Bignat-only Rat, memo-free
+   Measure), same bechamel config as Micro.run. *)
+let micro_baseline =
+  [ ("bits.append", 496.8);
+    ("bignat.mul", 260.7);
+    ("bignat.divmod", 51217.4);
+    ("rat.add", 1019.1);
+    ("value.to_bits", 63050.6);
+    ("value.of_bits", 4488.3);
+    ("dist.product", 253803.9);
+    ("stat.distance", 14675.8);
+    ("psioa.step", 795.1);
+    ("measure.exec_dist", 5648.4);
+    ("bisim.coin", 21497.7);
+    ("measure.reach_prob", 50224.5) ]
+
+(* ms/op for [Measure.exec_dist] on the seed revision, same workloads and
+   schedulers as [measure_macro] below. *)
+let macro_baseline =
+  [ ("coin", [ (3, 0.0103); (4, 0.0150); (5, 0.0167); (6, 0.0167) ]);
+    ("random_walk", [ (3, 0.0246); (4, 0.0603); (5, 0.1297); (6, 0.3463) ]);
+    ("committee", [ (3, 0.1197); (4, 0.3131); (5, 0.5767); (6, 0.8399) ]) ]
+
+let depths = [ 3; 4; 5; 6 ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let iters = ref 0 in
+  while Unix.gettimeofday () -. t0 < 0.3 do
+    ignore (Sys.opaque_identity (f ()));
+    incr iters
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int !iters *. 1e3
+
+let measure_macro () =
+  let workloads =
+    [ ("coin", Cdse_gen.Workloads.coin "c");
+      ("random_walk", Cdse_gen.Workloads.random_walk ~span:4 "w");
+      ("committee", Pca.psioa (Committee.build ~max_validators:3 ~blocks:1 "cmt")) ]
+  in
+  List.map
+    (fun (name, auto) ->
+      ( name,
+        List.map
+          (fun depth ->
+            let sched = Scheduler.bounded depth (Scheduler.uniform auto) in
+            (depth, wall (fun () -> Measure.exec_dist ~memo:true auto sched ~depth)))
+          depths ))
+    workloads
+
+let entry ?(digits = 1) baseline current =
+  match baseline with
+  | Some b ->
+      Printf.sprintf "{\"baseline\": %.*f, \"current\": %.*f, \"speedup\": %.2f}" digits b
+        digits current (b /. current)
+  | None -> Printf.sprintf "{\"baseline\": null, \"current\": %.*f, \"speedup\": null}" digits current
+
+let emit micro_rows =
+  let macro = measure_macro () in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"cdse-bench/1\",\n";
+  add "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
+  add "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\"},\n";
+  add "  \"micro\": {\n";
+  List.iteri
+    (fun i (name, current) ->
+      add "    \"%s\": %s%s\n" name
+        (entry (List.assoc_opt name micro_baseline) current)
+        (if i < List.length micro_rows - 1 then "," else ""))
+    micro_rows;
+  add "  },\n";
+  add "  \"exec_dist\": {\n";
+  List.iteri
+    (fun i (name, rows) ->
+      let base = List.assoc_opt name macro_baseline in
+      add "    \"%s\": {\n" name;
+      List.iteri
+        (fun j (depth, current) ->
+          let baseline = Option.bind base (List.assoc_opt depth) in
+          add "      \"%d\": %s%s\n" depth
+            (entry ~digits:4 baseline current)
+            (if j < List.length rows - 1 then "," else ""))
+        rows;
+      add "    }%s\n" (if i < List.length macro - 1 then "," else ""))
+    macro;
+  add "  }\n";
+  add "}\n";
+  let oc = open_out "BENCH_cdse.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6)\n%!"
+    (List.length micro_rows) (List.length macro)

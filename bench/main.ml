@@ -14,5 +14,5 @@ let () =
   print_endline "cdse experiment harness — composable dynamic secure emulation";
   print_endline "(paper: brief announcement, no tables/figures; experiments per DESIGN.md §5)";
   List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
-  if run_micro then Micro.run ();
+  if run_micro then Bench_json.emit (Micro.run ());
   Workbench.summary ()

@@ -48,13 +48,19 @@ let run () =
   let rows =
     Hashtbl.fold
       (fun name res acc ->
-        let est =
-          match Analyze.OLS.estimates res with
-          | Some (e :: _) -> Printf.sprintf "%.1f" e
-          | _ -> "n/a"
-        in
-        [ name; est ] :: acc)
+        match Analyze.OLS.estimates res with
+        | Some (e :: _) -> (name, e) :: acc
+        | _ -> acc)
       results []
     |> List.sort compare
   in
-  Pretty.table ~header:[ "operation"; "ns/op" ] rows
+  Pretty.table ~header:[ "operation"; "ns/op" ]
+    (List.map (fun (name, est) -> [ name; Printf.sprintf "%.1f" est ]) rows);
+  (* Strip the grouping prefix ("micro/dist.product" -> "dist.product") so
+     callers key results by operation name. *)
+  List.map
+    (fun (name, est) ->
+      match String.index_opt name '/' with
+      | Some i -> (String.sub name (i + 1) (String.length name - i - 1), est)
+      | None -> (name, est))
+    rows

@@ -1,32 +1,85 @@
-type 'a t = { cmp : 'a -> 'a -> int; items : ('a * Rat.t) list }
+(* Sorted-array representation: elements in strictly increasing [cmp] order,
+   probabilities strictly positive, total mass cached at construction.
+   Compared to the previous sorted association list this makes [make]
+   an array sort plus one merging pass (no non-tail recursion, so 100k+
+   support points are safe), [prob] a binary search, and lets [product] /
+   [product_list] build their (already sorted, duplicate-free) result
+   directly without re-normalizing. *)
+
+type 'a t = { cmp : 'a -> 'a -> int; elts : 'a array; probs : Rat.t array; mass : Rat.t }
 
 exception Invalid of string
 
 let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
 
+let empty ~compare = { cmp = compare; elts = [||]; probs = [||]; mass = Rat.zero }
+
+(* Internal: trusted components (sorted, positive, mass ≤ 1). *)
+let unsafe ~compare ~elts ~probs ~mass = { cmp = compare; elts; probs; mass }
+
 (* Merge-normalize an association list under [cmp]: sort, merge duplicates,
    drop zeros, validate non-negativity and mass ≤ 1. *)
-let normalize cmp pairs =
+let make ~compare pairs =
   List.iter
-    (fun (_, p) -> if Rat.sign p < 0 then invalid "Dist: negative probability %s" (Rat.to_string p))
+    (fun (_, p) ->
+      if Rat.sign p < 0 then invalid "Dist: negative probability %s" (Rat.to_string p))
     pairs;
-  let sorted = List.stable_sort (fun (a, _) (b, _) -> cmp a b) pairs in
-  let rec merge = function
-    | [] -> []
-    | [ (x, p) ] -> if Rat.is_zero p then [] else [ (x, p) ]
-    | (x, p) :: ((y, q) :: rest as tail) ->
-        if cmp x y = 0 then merge ((x, Rat.add p q) :: rest)
-        else if Rat.is_zero p then merge tail
-        else (x, p) :: merge tail
+  let check_mass m =
+    if Rat.compare m Rat.one > 0 then invalid "Dist: mass %s exceeds 1" (Rat.to_string m)
   in
-  let items = merge sorted in
-  let total = Rat.sum (List.map snd items) in
-  if Rat.compare total Rat.one > 0 then invalid "Dist: mass %s exceeds 1" (Rat.to_string total);
-  items
+  match pairs with
+  | [] -> empty ~compare
+  | [ (x, p) ] ->
+      if Rat.is_zero p then empty ~compare
+      else begin
+        check_mass p;
+        unsafe ~compare ~elts:[| x |] ~probs:[| p |] ~mass:p
+      end
+  | [ (x, p); (y, q) ] when (not (Rat.is_zero p)) && not (Rat.is_zero q) ->
+      let c = compare x y in
+      let m = Rat.add p q in
+      check_mass m;
+      if c = 0 then unsafe ~compare ~elts:[| x |] ~probs:[| m |] ~mass:m
+      else if c < 0 then unsafe ~compare ~elts:[| x; y |] ~probs:[| p; q |] ~mass:m
+      else unsafe ~compare ~elts:[| y; x |] ~probs:[| q; p |] ~mass:m
+  | _ ->
+  let arr = Array.of_list pairs in
+  let n = Array.length arr in
+  begin
+    Array.stable_sort (fun (a, _) (b, _) -> compare a b) arr;
+    let elts = Array.make n (fst arr.(0)) in
+    let probs = Array.make n Rat.zero in
+    let k = ref 0 in
+    let mass = ref Rat.zero in
+    let flush x p =
+      if not (Rat.is_zero p) then begin
+        elts.(!k) <- x;
+        probs.(!k) <- p;
+        mass := Rat.add !mass p;
+        incr k
+      end
+    in
+    let cur = ref arr.(0) in
+    for i = 1 to n - 1 do
+      let x, p = arr.(i) in
+      let cx, cp = !cur in
+      if compare cx x = 0 then cur := (cx, Rat.add cp p)
+      else begin
+        flush cx cp;
+        cur := (x, p)
+      end
+    done;
+    let cx, cp = !cur in
+    flush cx cp;
+    if Rat.compare !mass Rat.one > 0 then
+      invalid "Dist: mass %s exceeds 1" (Rat.to_string !mass);
+    { cmp = compare;
+      elts = Array.sub elts 0 !k;
+      probs = Array.sub probs 0 !k;
+      mass = !mass }
+  end
 
-let make ~compare pairs = { cmp = compare; items = normalize compare pairs }
-let empty ~compare = { cmp = compare; items = [] }
-let dirac ~compare x = { cmp = compare; items = [ (x, Rat.one) ] }
+let dirac ~compare x = { cmp = compare; elts = [| x |]; probs = [| Rat.one |]; mass = Rat.one }
 
 let uniform ~compare l =
   match l with
@@ -39,57 +92,132 @@ let bernoulli ~compare p =
   if not (Rat.is_proper_prob p) then invalid "Dist.bernoulli: %s not in [0,1]" (Rat.to_string p);
   make ~compare [ (true, p); (false, Rat.sub Rat.one p) ]
 
-let items d = d.items
-let support d = List.map fst d.items
-let size d = List.length d.items
+let items d =
+  List.init (Array.length d.elts) (fun i -> (d.elts.(i), d.probs.(i)))
+
+let support d = Array.to_list d.elts
+let size d = Array.length d.elts
 let compare_elt d = d.cmp
 
-let prob d x =
-  match List.find_opt (fun (y, _) -> d.cmp x y = 0) d.items with
-  | Some (_, p) -> p
-  | None -> Rat.zero
+let iter f d = Array.iteri (fun i x -> f x d.probs.(i)) d.elts
 
-let mass d = Rat.sum (List.map snd d.items)
-let deficit d = Rat.sub Rat.one (mass d)
-let is_proper d = Rat.equal (mass d) Rat.one
+let fold f acc d =
+  let acc = ref acc in
+  for i = 0 to Array.length d.elts - 1 do
+    acc := f !acc d.elts.(i) d.probs.(i)
+  done;
+  !acc
+
+let prob d x =
+  let lo = ref 0 and hi = ref (Array.length d.elts - 1) in
+  let found = ref Rat.zero in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = d.cmp x d.elts.(mid) in
+    if c = 0 then begin
+      found := d.probs.(mid);
+      lo := !hi + 1
+    end
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !found
+
+let mass d = d.mass
+let deficit d = Rat.sub Rat.one d.mass
+let is_proper d = Rat.equal d.mass Rat.one
 
 let scale factor d =
   if Rat.sign factor < 0 || Rat.compare factor Rat.one > 0 then
     invalid "Dist.scale: factor %s not in [0,1]" (Rat.to_string factor);
-  if Rat.is_zero factor then { d with items = [] }
-  else { d with items = List.map (fun (x, p) -> (x, Rat.mul factor p)) d.items }
+  if Rat.is_zero factor then empty ~compare:d.cmp
+  else
+    { d with
+      probs = Array.map (fun p -> Rat.mul factor p) d.probs;
+      mass = Rat.mul factor d.mass }
 
-let map ~compare f d = make ~compare (List.map (fun (x, p) -> (f x, p)) d.items)
+let map ~compare f d =
+  make ~compare (List.init (Array.length d.elts) (fun i -> (f d.elts.(i), d.probs.(i))))
 
 let bind ~compare d f =
   make ~compare
-    (List.concat_map (fun (x, p) -> List.map (fun (y, q) -> (y, Rat.mul p q)) (f x).items) d.items)
+    (fold
+       (fun acc x p -> fold (fun acc y q -> (y, Rat.mul p q) :: acc) acc (f x))
+       [] d)
 
+(* The lexicographic product of two sorted duplicate-free supports is itself
+   sorted and duplicate-free: build it in one pass, no re-normalization. *)
 let product a b =
   let compare = Cdse_util.Order.pair a.cmp b.cmp in
-  make ~compare
-    (List.concat_map (fun (x, p) -> List.map (fun (y, q) -> ((x, y), Rat.mul p q)) b.items) a.items)
+  let na = Array.length a.elts and nb = Array.length b.elts in
+  if na = 0 || nb = 0 then empty ~compare
+  else begin
+    let elts = Array.make (na * nb) (a.elts.(0), b.elts.(0)) in
+    let probs = Array.make (na * nb) Rat.zero in
+    for i = 0 to na - 1 do
+      let x = a.elts.(i) and p = a.probs.(i) in
+      let row = i * nb in
+      for j = 0 to nb - 1 do
+        elts.(row + j) <- (x, b.elts.(j));
+        probs.(row + j) <- Rat.mul p b.probs.(j)
+      done
+    done;
+    unsafe ~compare ~elts ~probs ~mass:(Rat.mul a.mass b.mass)
+  end
 
 let product_list ~compare ds =
   let lcompare = Cdse_util.Order.list compare in
   List.fold_right
     (fun d acc ->
-      make ~compare:lcompare
-        (List.concat_map
-           (fun (x, p) -> List.map (fun (xs, q) -> (x :: xs, Rat.mul p q)) acc.items)
-           d.items))
+      let nd = Array.length d.elts and nacc = Array.length acc.elts in
+      if nd = 0 || nacc = 0 then empty ~compare:lcompare
+      else begin
+        let elts = Array.make (nd * nacc) [] in
+        let probs = Array.make (nd * nacc) Rat.zero in
+        for i = 0 to nd - 1 do
+          let x = d.elts.(i) and p = d.probs.(i) in
+          let row = i * nacc in
+          for j = 0 to nacc - 1 do
+            elts.(row + j) <- x :: acc.elts.(j);
+            probs.(row + j) <- Rat.mul p acc.probs.(j)
+          done
+        done;
+        unsafe ~compare:lcompare ~elts ~probs ~mass:(Rat.mul d.mass acc.mass)
+      end)
     ds
     (dirac ~compare:lcompare [])
 
-let filter pred d = { d with items = List.filter (fun (x, _) -> pred x) d.items }
+let filter pred d =
+  let keep = ref [] and mass = ref Rat.zero and k = ref 0 in
+  for i = Array.length d.elts - 1 downto 0 do
+    if pred d.elts.(i) then begin
+      keep := i :: !keep;
+      mass := Rat.add !mass d.probs.(i);
+      incr k
+    end
+  done;
+  match !keep with
+  | [] -> empty ~compare:d.cmp
+  | first :: _ ->
+      let elts = Array.make !k d.elts.(first) in
+      let probs = Array.make !k Rat.zero in
+      List.iteri
+        (fun j i ->
+          elts.(j) <- d.elts.(i);
+          probs.(j) <- d.probs.(i))
+        !keep;
+      unsafe ~compare:d.cmp ~elts ~probs ~mass:!mass
 
-let expect f d = Rat.sum (List.map (fun (x, p) -> Rat.mul (f x) p) d.items)
+let expect f d = fold (fun acc x p -> Rat.add acc (Rat.mul (f x) p)) Rat.zero d
 
 let equal a b =
-  List.length a.items = List.length b.items
-  && List.for_all2
-       (fun (x, p) (y, q) -> a.cmp x y = 0 && Rat.equal p q)
-       a.items b.items
+  Array.length a.elts = Array.length b.elts
+  &&
+  let rec go i =
+    i < 0
+    || (a.cmp a.elts.(i) b.elts.(i) = 0 && Rat.equal a.probs.(i) b.probs.(i) && go (i - 1))
+  in
+  go (Array.length a.elts - 1)
 
 let corresponds ~f a b =
   (* f restricted to supp(a) must be a probability-preserving bijection onto
@@ -101,19 +229,20 @@ let corresponds ~f a b =
 
 let sample rng d =
   let target = Rat.of_ints (Rng.int rng 1_000_003) 1_000_003 in
-  let rec go acc = function
-    | [] -> None
-    | (x, p) :: rest ->
-        let acc = Rat.add acc p in
-        if Rat.compare target acc < 0 then Some x else go acc rest
+  let n = Array.length d.elts in
+  let rec go acc i =
+    if i >= n then None
+    else
+      let acc = Rat.add acc d.probs.(i) in
+      if Rat.compare target acc < 0 then Some d.elts.(i) else go acc (i + 1)
   in
-  go Rat.zero d.items
+  go Rat.zero 0
 
 let pp pp_elt fmt d =
   Format.fprintf fmt "@[<hov 1>{";
-  List.iteri
-    (fun i (x, p) ->
+  Array.iteri
+    (fun i x ->
       if i > 0 then Format.fprintf fmt ";@ ";
-      Format.fprintf fmt "%a ↦ %a" pp_elt x Rat.pp p)
-    d.items;
+      Format.fprintf fmt "%a ↦ %a" pp_elt x Rat.pp d.probs.(i))
+    d.elts;
   Format.fprintf fmt "}@]"

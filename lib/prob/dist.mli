@@ -3,7 +3,7 @@
     This is the executable counterpart of [Disc(S)] and [SubDisc(S)] from
     Section 2.1 of the paper. The paper works with countable supports; every
     object the framework actually manipulates under a bounded scheduler
-    (Definition 4.6) has finite support, so a sorted association list of
+    (Definition 4.6) has finite support, so a sorted array of
     [(element, probability)] pairs with exact rational probabilities is a
     faithful representation (see DESIGN.md, substitution table).
 
@@ -41,8 +41,20 @@ val items : 'a t -> ('a * Rat.t) list
 val support : 'a t -> 'a list
 (** [supp(η)] — elements of non-zero probability. *)
 
+val iter : ('a -> Rat.t -> unit) -> 'a t -> unit
+(** Iterate over the entries in increasing element order without
+    materializing the {!items} list — for the hot loops of the measure
+    engine. *)
+
+val fold : ('acc -> 'a -> Rat.t -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over the entries in increasing element order, allocation-free. *)
+
 val prob : 'a t -> 'a -> Rat.t
+(** Probability of one element — a binary search on the sorted support. *)
+
 val mass : 'a t -> Rat.t
+(** Total probability mass; cached at construction, O(1). *)
+
 val deficit : 'a t -> Rat.t
 (** [1 - mass]: the halting probability of a sub-distribution. *)
 

@@ -24,9 +24,32 @@ let concat a b =
 
 let step_compare = Cdse_util.Order.pair Action.compare Value.compare
 
+(* Forward-lexicographic order on the step sequences (same order as
+   [Order.list step_compare] on [steps a] / [steps b]) computed directly on
+   the reversed lists: no [List.rev] allocation per comparison, and
+   physically shared tails — sibling executions of one cone share their
+   prefix — compare in O(1). *)
 let compare a b =
   let c = Value.compare a.first b.first in
-  if c <> 0 then c else Cdse_util.Order.list step_compare (steps a) (steps b)
+  if c <> 0 then c
+  else begin
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    (* Align on the common prefix: the deepest [min len] entries. *)
+    let ra = if a.len > b.len then drop (a.len - b.len) a.rev_steps else a.rev_steps in
+    let rb = if b.len > a.len then drop (b.len - a.len) b.rev_steps else b.rev_steps in
+    let rec go ra rb =
+      if ra == rb then 0
+      else
+        match (ra, rb) with
+        | [], [] -> 0
+        | x :: ra', y :: rb' ->
+            let c = go ra' rb' in
+            if c <> 0 then c else step_compare x y
+        | _ -> assert false (* aligned above *)
+    in
+    let c = go ra rb in
+    if c <> 0 then c else Int.compare a.len b.len
+  end
 
 let equal a b = compare a b = 0
 let hash e = Hashtbl.hash (Value.hash e.first, List.map (fun (a, q) -> (Action.hash a, Value.hash q)) e.rev_steps)

@@ -2,32 +2,56 @@ open Cdse_prob
 open Cdse_psioa
 
 (* Iteratively expand the cone frontier. [alive] holds executions the
-   scheduler may still extend, [finished] the accumulated halting mass. *)
-let exec_dist auto sched ~depth =
+   scheduler may still extend, [finished] the accumulated halting mass.
+
+   With [~memo:true] the expansion reuses {!Psioa.memoize} so signature and
+   transition lookups are computed once per [(state, action)] across the
+   whole frontier, and — for {!Scheduler.is_memoryless} schedulers — caches
+   the validated scheduler choice keyed by [(length, lstate)] instead of
+   re-validating per execution. Both caches are per-call: the results are
+   observationally identical, so the flag is purely a performance knob. *)
+let exec_dist ?(memo = false) auto sched ~depth =
+  let auto = if memo then Psioa.memoize auto else auto in
+  let choice_of =
+    if memo && Scheduler.is_memoryless sched then begin
+      (* Every alive execution at frontier layer [i] has length [i], so for
+         a memoryless scheduler the validated choice is a function of
+         (length, lstate) alone. *)
+      let tbl = Hashtbl.create 32 in
+      fun e ->
+        let key = (Exec.length e, Exec.lstate e) in
+        match Hashtbl.find_opt tbl key with
+        | Some d -> d
+        | None ->
+            let d = Scheduler.validate_choice auto sched e in
+            Hashtbl.add tbl key d;
+            d
+    end
+    else fun e -> Scheduler.validate_choice auto sched e
+  in
   let rec go step alive finished =
     if step = depth || alive = [] then
       Dist.make ~compare:Exec.compare (List.rev_append finished alive)
     else begin
-      let alive', finished' =
-        List.fold_left
-          (fun (alive_acc, fin_acc) (e, p) ->
-            let choice = Scheduler.validate_choice auto sched e in
+      let alive' = ref [] and finished' = ref finished in
+      List.iter
+        (fun (e, p) ->
+          let choice = choice_of e in
+          if not (Dist.is_proper choice) then begin
             let halt_mass = Rat.mul p (Dist.deficit choice) in
-            let fin_acc = if Rat.is_zero halt_mass then fin_acc else (e, halt_mass) :: fin_acc in
-            let alive_acc =
-              List.fold_left
-                (fun acc (act, pa) ->
-                  let eta = Psioa.step auto (Exec.lstate e) act in
-                  List.fold_left
-                    (fun acc (q', pq) ->
-                      (Exec.extend e act q', Rat.mul p (Rat.mul pa pq)) :: acc)
-                    acc (Dist.items eta))
-                alive_acc (Dist.items choice)
-            in
-            (alive_acc, fin_acc))
-          ([], finished) alive
-      in
-      go (step + 1) alive' finished'
+            if not (Rat.is_zero halt_mass) then finished' := (e, halt_mass) :: !finished'
+          end;
+          let q = Exec.lstate e in
+          Dist.iter
+            (fun act pa ->
+              let eta = Psioa.step auto q act in
+              let pa = Rat.mul p pa in
+              Dist.iter
+                (fun q' pq -> alive' := (Exec.extend e act q', Rat.mul pa pq) :: !alive')
+                eta)
+            choice)
+        alive;
+      go (step + 1) !alive' !finished'
     end
   in
   go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] []
@@ -48,26 +72,25 @@ let cone_prob auto sched alpha =
   if not (Value.equal (Exec.fstate alpha) (Psioa.start auto)) then Rat.zero
   else go Rat.one (Exec.init (Psioa.start auto)) (Exec.steps alpha)
 
-let trace_dist auto sched ~depth =
+let trace_dist ?memo auto sched ~depth =
   Dist.map
     ~compare:(Cdse_util.Order.list Action.compare)
     (Exec.trace ~sig_of:(Psioa.signature auto))
-    (exec_dist auto sched ~depth)
+    (exec_dist ?memo auto sched ~depth)
 
-let n_execs auto sched ~depth = Dist.size (exec_dist auto sched ~depth)
+let n_execs ?memo auto sched ~depth = Dist.size (exec_dist ?memo auto sched ~depth)
 
 (* Probabilistic reachability: mass of completed executions that visit a
    state satisfying the predicate within the depth bound. *)
-let reach_prob auto sched ~depth ~pred =
-  let d = exec_dist auto sched ~depth in
-  Rat.sum
-    (List.filter_map
-       (fun (e, p) -> if List.exists pred (Exec.states e) then Some p else None)
-       (Dist.items d))
+let reach_prob ?memo auto sched ~depth ~pred =
+  let d = exec_dist ?memo auto sched ~depth in
+  Dist.fold
+    (fun acc e p -> if List.exists pred (Exec.states e) then Rat.add acc p else acc)
+    Rat.zero d
 
 (* Expected number of scheduled steps of the completed execution. *)
-let expected_steps auto sched ~depth =
-  Dist.expect (fun e -> Rat.of_int (Exec.length e)) (exec_dist auto sched ~depth)
+let expected_steps ?memo auto sched ~depth =
+  Dist.expect (fun e -> Rat.of_int (Exec.length e)) (exec_dist ?memo auto sched ~depth)
 
 (* Monte-Carlo estimation: drive sampled runs instead of expanding the
    exact cone tree. The estimator trades exactness for scale — the exact

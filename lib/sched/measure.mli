@@ -10,28 +10,35 @@
 open Cdse_prob
 open Cdse_psioa
 
-val exec_dist : Psioa.t -> Scheduler.t -> depth:int -> Exec.t Dist.t
+val exec_dist : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> Exec.t Dist.t
 (** Exact distribution over completed executions up to [depth] steps.
     Raises {!Scheduler.Bad_choice} if the scheduler violates the
-    Definition 3.1 support condition. *)
+    Definition 3.1 support condition.
+
+    [~memo:true] (default [false]) computes the same measure faster:
+    signature/transition lookups are cached per [(state, action)] across
+    the cone frontier (via {!Psioa.memoize}), and for
+    {!Scheduler.is_memoryless} schedulers the validated choice is cached
+    keyed by [(length, last state)] instead of being recomputed per
+    execution. Observationally identical; caches live only for the call. *)
 
 val cone_prob : Psioa.t -> Scheduler.t -> Exec.t -> Rat.t
 (** [ε_σ(C_α)]: the probability that the scheduled run extends [α]
     (Section 3's cone measure), computed as the product of scheduler and
     transition probabilities along [α]. *)
 
-val trace_dist : Psioa.t -> Scheduler.t -> depth:int -> Action.t list Dist.t
+val trace_dist : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> Action.t list Dist.t
 (** Pushforward of {!exec_dist} through the trace map (Definition 2.2). *)
 
-val n_execs : Psioa.t -> Scheduler.t -> depth:int -> int
+val n_execs : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> int
 (** Support size of {!exec_dist} — used by the scaling benchmarks (E7). *)
 
 val reach_prob :
-  Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Cdse_prob.Rat.t
+  ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Cdse_prob.Rat.t
 (** Exact probability that a completed execution visits a state satisfying
     [pred] within [depth] steps. *)
 
-val expected_steps : Psioa.t -> Scheduler.t -> depth:int -> Cdse_prob.Rat.t
+val expected_steps : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> Cdse_prob.Rat.t
 (** Expected length of the completed execution (exact). *)
 
 (** {2 Monte-Carlo estimation}

@@ -1,15 +1,23 @@
 open Cdse_prob
 open Cdse_psioa
 
-type t = { name : string; choose : Exec.t -> Action.t Dist.t }
+type t = {
+  name : string;
+  memoryless : bool;
+  validated : bool;
+  choose : Exec.t -> Action.t Dist.t;
+}
 
 exception Bad_choice of { scheduler : string; state : Value.t; action : Action.t }
 
-let make ~name choose = { name; choose }
+let make ?(memoryless = false) ?(validated = false) ~name choose =
+  { name; memoryless; validated; choose }
+
+let is_memoryless s = s.memoryless
 
 let empty_choice = Dist.empty ~compare:Action.compare
 
-let halt = { name = "halt"; choose = (fun _ -> empty_choice) }
+let halt = { name = "halt"; memoryless = true; validated = true; choose = (fun _ -> empty_choice) }
 
 (* Locally controlled actions (output ∪ internal) at the last state: the
    closed-world pool the standard schedulers draw from. Free inputs of the
@@ -17,18 +25,18 @@ let halt = { name = "halt"; choose = (fun _ -> empty_choice) }
 let local_pool a e = Sigs.local (Psioa.signature a (Exec.lstate e))
 
 let uniform a =
-  make ~name:(Printf.sprintf "uniform(%s)" (Psioa.name a)) (fun e ->
+  make ~memoryless:true ~validated:true ~name:(Printf.sprintf "uniform(%s)" (Psioa.name a)) (fun e ->
       let acts = Action_set.elements (local_pool a e) in
       match acts with [] -> empty_choice | _ -> Dist.uniform ~compare:Action.compare acts)
 
 let first_enabled a =
-  make ~name:(Printf.sprintf "first(%s)" (Psioa.name a)) (fun e ->
+  make ~memoryless:true ~validated:true ~name:(Printf.sprintf "first(%s)" (Psioa.name a)) (fun e ->
       match Action_set.min_elt_opt (local_pool a e) with
       | None -> empty_choice
       | Some act -> Dist.dirac ~compare:Action.compare act)
 
 let round_robin a =
-  make ~name:(Printf.sprintf "round-robin(%s)" (Psioa.name a)) (fun e ->
+  make ~memoryless:true ~validated:true ~name:(Printf.sprintf "round-robin(%s)" (Psioa.name a)) (fun e ->
       let acts = Action_set.elements (local_pool a e) in
       match acts with
       | [] -> empty_choice
@@ -36,7 +44,7 @@ let round_robin a =
 
 let oblivious a script =
   let script = Array.of_list script in
-  make ~name:(Printf.sprintf "oblivious(%s,%d)" (Psioa.name a) (Array.length script)) (fun e ->
+  make ~memoryless:true ~validated:true ~name:(Printf.sprintf "oblivious(%s,%d)" (Psioa.name a) (Array.length script)) (fun e ->
       let i = Exec.length e in
       if i >= Array.length script then empty_choice
       else
@@ -46,7 +54,7 @@ let oblivious a script =
 
 let oblivious_local a script =
   let script = Array.of_list script in
-  make ~name:(Printf.sprintf "oblivious-local(%s,%d)" (Psioa.name a) (Array.length script))
+  make ~memoryless:true ~validated:true ~name:(Printf.sprintf "oblivious-local(%s,%d)" (Psioa.name a) (Array.length script))
     (fun e ->
       let i = Exec.length e in
       if i >= Array.length script then empty_choice
@@ -59,16 +67,23 @@ let oblivious_local a script =
    without an extra record field leaking into every scheduler. *)
 let bounded b s =
   { name = Printf.sprintf "bounded[%d] %s" b s.name;
+    memoryless = s.memoryless;
+    validated = s.validated;
     choose = (fun e -> if Exec.length e >= b then empty_choice else s.choose e) }
 
 let is_bounded s = Scanf.sscanf_opt s.name "bounded[%d]" (fun b -> b)
 
+(* The signature is only computed when the choice is non-empty (halting
+   choices dominate the cone frontier's leaves), and membership is checked
+   per component via [Sigs.classify] — no union set is materialized. *)
 let validate_choice a s e =
   let d = s.choose e in
-  let en = Psioa.enabled a (Exec.lstate e) in
-  List.iter
-    (fun act ->
-      if not (Action_set.mem act en) then
-        raise (Bad_choice { scheduler = s.name; state = Exec.lstate e; action = act }))
-    (Dist.support d);
+  if (not s.validated) && Dist.size d > 0 then begin
+    let sg = Psioa.signature a (Exec.lstate e) in
+    Dist.iter
+      (fun act _ ->
+        if Sigs.classify act sg = `Absent then
+          raise (Bad_choice { scheduler = s.name; state = Exec.lstate e; action = act }))
+      d
+  end;
   d

@@ -10,13 +10,34 @@
 open Cdse_prob
 open Cdse_psioa
 
-type t = { name : string; choose : Exec.t -> Action.t Dist.t }
+type t = {
+  name : string;
+  memoryless : bool;
+  validated : bool;
+  choose : Exec.t -> Action.t Dist.t;
+}
 (** [choose α] must be supported on [sig-hat(A)(lstate α)];
-    {!validate_choice} enforces this at measure-computation time. *)
+    {!validate_choice} enforces this at measure-computation time.
+
+    [memoryless] declares that [choose α] depends on [α] only through
+    [(length α, lstate α)] — not on the rest of the history. The measure
+    engine ({!Measure.exec_dist} with [~memo:true]) exploits this to key
+    its validated-choice cache by last state instead of whole executions.
+    It is a promise, not a checked property: defaults to [false] in
+    {!make}, and all the standard schedulers below set it.
+
+    [validated] declares that [choose] only ever returns actions drawn from
+    the signature of the last state — true of every scheduler below, since
+    they all pick from the enabled local pool by construction.
+    {!validate_choice} then skips the (redundant) membership re-check.
+    Also a promise; defaults to [false] in {!make}. *)
 
 exception Bad_choice of { scheduler : string; state : Value.t; action : Action.t }
 
-val make : name:string -> (Exec.t -> Action.t Dist.t) -> t
+val make : ?memoryless:bool -> ?validated:bool -> name:string -> (Exec.t -> Action.t Dist.t) -> t
+
+val is_memoryless : t -> bool
+(** The {!t.memoryless} promise ([bounded] preserves it). *)
 
 val halt : t
 (** Halts immediately (the empty sub-distribution everywhere). *)
@@ -61,4 +82,6 @@ val is_bounded : t -> int option
 
 val validate_choice : Psioa.t -> t -> Exec.t -> Action.t Dist.t
 (** [choose] with the Definition 3.1 support condition enforced; raises
-    {!Bad_choice} if the scheduler picks a disabled action. *)
+    {!Bad_choice} if the scheduler picks a disabled action. Skipped for
+    {!t.validated} schedulers, whose choices satisfy the condition by
+    construction. *)

@@ -18,7 +18,8 @@ let empty_choice = Dist.empty ~compare:Action.compare
 
 let scheduler auto schedule =
   let tasks = Array.of_list schedule in
-  Scheduler.make ~name:(Printf.sprintf "task-schedule(%d)" (Array.length tasks)) (fun e ->
+  Scheduler.make ~memoryless:true ~validated:true
+    ~name:(Printf.sprintf "task-schedule(%d)" (Array.length tasks)) (fun e ->
       let i = Exec.length e in
       if i >= Array.length tasks then empty_choice
       else
@@ -27,7 +28,7 @@ let scheduler auto schedule =
         | _ -> empty_choice)
 
 let scheduler_skipping auto schedule =
-  Scheduler.make
+  Scheduler.make ~validated:true
     ~name:(Printf.sprintf "task-schedule-skip(%d)" (List.length schedule))
     (fun e ->
       (* Replay the fragment against the schedule to know how many tasks

@@ -177,6 +177,71 @@ let test_rat_to_float_huge () =
   let huge = Rat.make ~sign:1 ~num:(Bignat.pow Bignat.two 200) ~den:(Bignat.pow Bignat.two 199) in
   Alcotest.(check (float 1e-12)) "2^200/2^199 = 2." 2.0 (Rat.to_float huge)
 
+(* Rationals whose numerator or denominator straddles the native-int
+   (Bignat.to_int_opt) boundary, so that arithmetic on them crosses the
+   small-int / Bignat promotion edge in both directions. *)
+let rat_boundary_arb =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun ((n, d), (k, num_side)) ->
+          let base = Rat.of_ints n (d + 1) in
+          let big = Rat.pow (Rat.of_int 2) k in
+          if num_side then Rat.mul base big else Rat.div base big)
+        (pair
+           (pair (int_range (-1000) 1000) (int_bound 1000))
+           (pair (int_range 55 70) bool)))
+  in
+  QCheck.make ~print:Rat.to_string gen
+
+let prop_rat_promote_add_sub =
+  QCheck.Test.make ~name:"rat: (a+h)-h = a across promotion"
+    (QCheck.pair rat_arb rat_boundary_arb) (fun (a, h) ->
+      Rat.equal (Rat.sub (Rat.add a h) h) a)
+
+let prop_rat_promote_mul_div =
+  QCheck.Test.make ~name:"rat: (a·h)/h = a across promotion"
+    (QCheck.pair rat_arb rat_boundary_arb) (fun (a, h) ->
+      QCheck.assume (not (Rat.is_zero h));
+      Rat.equal (Rat.div (Rat.mul a h) h) a)
+
+let prop_rat_promote_compare =
+  QCheck.Test.make ~name:"rat: compare = sign of difference (boundary)"
+    (QCheck.pair rat_boundary_arb rat_boundary_arb) (fun (a, b) ->
+      Rat.compare a b = Rat.sign (Rat.sub a b))
+
+let prop_rat_promote_pow =
+  QCheck.Test.make ~name:"rat: pow agrees with iterated mul (boundary)" rat_boundary_arb
+    (fun h -> Rat.equal (Rat.pow h 3) (Rat.mul h (Rat.mul h h)))
+
+let prop_rat_promote_string_roundtrip =
+  QCheck.Test.make ~name:"rat: string roundtrip (boundary)" rat_boundary_arb (fun a ->
+      Rat.equal a (Rat.of_string (Rat.to_string a)))
+
+let prop_rat_promote_bits_roundtrip =
+  QCheck.Test.make ~name:"rat: bits roundtrip (boundary)" rat_boundary_arb (fun a ->
+      Rat.equal a (Rat.of_bits (Rat.to_bits a)))
+
+let test_rat_int_edges () =
+  (* max_int and min_int operands sit exactly on the Bignat.to_int_opt
+     demotion edge (|min_int| = max_int + 1 does not fit a native int). *)
+  let maxr = Rat.of_int max_int in
+  let above = Rat.add maxr Rat.one in
+  Alcotest.(check string) "max_int+1 prints"
+    (Bignat.to_string (Bignat.add (Bignat.of_int max_int) Bignat.one))
+    (Rat.to_string above);
+  Alcotest.(check bool) "demotes back under the edge" true
+    (Rat.equal maxr (Rat.sub above Rat.one));
+  Alcotest.(check bool) "min_int = -(max_int+1)" true
+    (Rat.equal (Rat.of_int min_int) (Rat.neg above));
+  Alcotest.(check bool) "compare across the edge" true (Rat.compare maxr above < 0);
+  Alcotest.(check string) "min_int/min_int = 1" "1" (Rat.to_string (Rat.of_ints min_int min_int));
+  let inv_min = Rat.of_ints 1 min_int in
+  Alcotest.(check bool) "1/min_int string roundtrip" true
+    (Rat.equal inv_min (Rat.of_string (Rat.to_string inv_min)));
+  Alcotest.(check bool) "1/min_int bits roundtrip" true
+    (Rat.equal inv_min (Rat.of_bits (Rat.to_bits inv_min)))
+
 (* ------------------------------------------------------------------ Dist *)
 
 let icmp = Int.compare
@@ -234,6 +299,22 @@ let test_dist_product_list () =
   let p = Dist.product_list ~compare:icmp [ coin; coin; coin ] in
   Alcotest.(check int) "8 outcomes" 8 (Dist.size p);
   Alcotest.(check string) "p[1;0;1]" "1/8" (Rat.to_string (Dist.prob p [ 1; 0; 1 ]))
+
+let test_dist_large_support () =
+  (* Regression: the old list-based normalization recursed per support point
+     (non-tail merge) and overflowed the stack around ~100k entries; the
+     array representation must handle this size comfortably. *)
+  let n = 100_000 in
+  let p = Rat.of_ints 1 n in
+  let d = Dist.make ~compare:icmp (List.init n (fun i -> (i, p))) in
+  Alcotest.(check int) "size" n (Dist.size d);
+  Alcotest.(check bool) "proper" true (Dist.is_proper d);
+  Alcotest.(check string) "prob of a point" (Rat.to_string p) (Rat.to_string (Dist.prob d 54321));
+  (* Duplicate-heavy input: every element appears twice, merged pairwise. *)
+  let dup = List.init (2 * n) (fun i -> (i mod n, Rat.of_ints 1 (2 * n))) in
+  let d2 = Dist.make ~compare:icmp dup in
+  Alcotest.(check int) "merged size" n (Dist.size d2);
+  Alcotest.(check bool) "merged proper" true (Dist.is_proper d2)
 
 let test_dist_corresponds () =
   (* Definition 2.15: η ↔_f η'. *)
@@ -407,7 +488,14 @@ let () =
           qtest prop_rat_compare_antisym;
           qtest prop_rat_to_float;
           qtest prop_rat_string_roundtrip;
-          qtest prop_rat_bits_roundtrip ] );
+          qtest prop_rat_bits_roundtrip;
+          Alcotest.test_case "native-int edges" `Quick test_rat_int_edges;
+          qtest prop_rat_promote_add_sub;
+          qtest prop_rat_promote_mul_div;
+          qtest prop_rat_promote_compare;
+          qtest prop_rat_promote_pow;
+          qtest prop_rat_promote_string_roundtrip;
+          qtest prop_rat_promote_bits_roundtrip ] );
       ( "dist",
         [ Alcotest.test_case "normalize" `Quick test_dist_normalize;
           Alcotest.test_case "rejects invalid" `Quick test_dist_rejects;
@@ -415,6 +503,7 @@ let () =
           Alcotest.test_case "sub-distribution" `Quick test_dist_subdist;
           Alcotest.test_case "product" `Quick test_dist_product;
           Alcotest.test_case "product_list" `Quick test_dist_product_list;
+          Alcotest.test_case "large support (100k)" `Quick test_dist_large_support;
           Alcotest.test_case "corresponds (Def 2.15)" `Quick test_dist_corresponds;
           Alcotest.test_case "sample stays in support" `Quick test_dist_sample_support;
           qtest prop_dist_map_mass;
