@@ -100,3 +100,187 @@ let emit micro_rows =
   close_out oc;
   Printf.printf "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6)\n%!"
     (List.length micro_rows) (List.length macro)
+
+(* ----------------------------------------------------- stable-key check *)
+
+(* Minimal JSON reader — objects, arrays, strings, numbers, booleans and
+   null — just enough for the CI smoke step to validate BENCH_cdse.json
+   without pulling in a JSON dependency. *)
+type json =
+  | Jobj of (string * json) list
+  | Jarr of json list
+  | Jstr of string
+  | Jnum of float
+  | Jbool of bool
+  | Jnull
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !i)) in
+  let peek () = if !i >= n then fail "unexpected end of input" else s.[!i] in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c) else incr i
+  in
+  let quoted () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> incr i; Buffer.contents b
+      | '\\' ->
+          incr i;
+          let c = peek () in
+          incr i;
+          Buffer.add_char b (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+          go ()
+      | c -> incr i; Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let lit w v =
+    let l = String.length w in
+    if !i + l <= n && String.equal (String.sub s !i l) w then begin
+      i := !i + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" w)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> Jstr (quoted ())
+    | 't' -> lit "true" (Jbool true)
+    | 'f' -> lit "false" (Jbool false)
+    | 'n' -> lit "null" Jnull
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          && (match s.[!i] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+        do
+          incr i
+        done;
+        if !i = start then fail "expected a value"
+        else Jnum (float_of_string (String.sub s start (!i - start)))
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin incr i; Jobj [] end
+    else
+      let rec fields acc =
+        skip_ws ();
+        let k = quoted () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' -> incr i; fields ((k, v) :: acc)
+        | '}' -> incr i; Jobj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected , or }"
+      in
+      fields []
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin incr i; Jarr [] end
+    else
+      let rec elts acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' -> incr i; elts (v :: acc)
+        | ']' -> incr i; Jarr (List.rev (v :: acc))
+        | _ -> fail "expected , or ]"
+      in
+      elts []
+  in
+  let v = value () in
+  skip_ws ();
+  if !i <> n then fail "trailing content";
+  v
+
+(* Validate that BENCH_cdse.json parses and still carries the stable key
+   set downstream tooling reads: the schema tag, every micro benchmark of
+   the baseline, and every (workload, depth) exec_dist cell. Exits 1 with
+   a diagnostic on any violation (the CI bench-smoke gate). *)
+let check ?(path = "BENCH_cdse.json") () =
+  let contents =
+    try
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e ->
+      Printf.eprintf "check-json: %s\n" e;
+      exit 1
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "check-json: %s: %s\n" path m;
+        exit 1)
+      fmt
+  in
+  let fields =
+    match parse_json contents with
+    | Jobj fields -> fields
+    | exception Bad_json e -> fail "does not parse: %s" e
+    | _ -> fail "top level is not an object"
+  in
+  (match List.assoc_opt "schema" fields with
+  | Some (Jstr "cdse-bench/1") -> ()
+  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/1\"" other
+  | _ -> fail "missing string key \"schema\"");
+  List.iter
+    (fun k -> if not (List.mem_assoc k fields) then fail "missing key %S" k)
+    [ "generated_by"; "units" ];
+  let objf k =
+    match List.assoc_opt k fields with
+    | Some (Jobj o) -> o
+    | _ -> fail "missing object key %S" k
+  in
+  let check_entry ctx = function
+    | Jobj e ->
+        List.iter
+          (fun k -> if not (List.mem_assoc k e) then fail "%s: missing field %S" ctx k)
+          [ "baseline"; "current"; "speedup" ];
+        (match List.assoc "current" e with
+        | Jnum _ -> ()
+        | _ -> fail "%s: \"current\" is not a number" ctx)
+    | _ -> fail "%s: not an object" ctx
+  in
+  let micro = objf "micro" in
+  List.iter
+    (fun (name, _) ->
+      match List.assoc_opt name micro with
+      | Some e -> check_entry ("micro." ^ name) e
+      | None -> fail "micro: stable key %S missing" name)
+    micro_baseline;
+  let macro = objf "exec_dist" in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name macro with
+      | Some (Jobj by_depth) ->
+          List.iter
+            (fun (d, _) ->
+              let k = string_of_int d in
+              match List.assoc_opt k by_depth with
+              | Some e -> check_entry (Printf.sprintf "exec_dist.%s.%s" name k) e
+              | None -> fail "exec_dist.%s: depth %s missing" name k)
+            base
+      | _ -> fail "exec_dist: stable workload %S missing" name)
+    macro_baseline;
+  Printf.printf
+    "check-json: %s OK (schema cdse-bench/1, %d micro keys, %d workloads x %d depths)\n" path
+    (List.length micro_baseline) (List.length macro_baseline) (List.length depths)

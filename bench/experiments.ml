@@ -655,6 +655,62 @@ let e16 () =
   Printf.printf "claim: masked aggregation is private and correct at slack 0 for every size: %s\n"
     (verdict ok)
 
+(* ----------------------------------------------------------------- E17 *)
+(* Fault injection: exact commit probability of one committee round as the
+   crash budget grows. Crashes are free inputs of the committee PCA; the
+   Fault.injector makes them schedulable, Fault.budget_sched caps their
+   total, and the uniform scheduler interleaves them adversarially with
+   the votes. Unanimity loses liveness at the first crash; a 2-of-3
+   quorum is immune to one crash (P = 1, an exact rational) and degrades
+   gracefully at two. *)
+
+let e17 () =
+  Pretty.section "E17  fault injection: commit probability vs crash budget";
+  let name = "cmt" in
+  let commit_prob ~quorum ~budget =
+    let cmt = Committee.build ~max_validators:3 ~blocks:1 ~quorum name in
+    let auto = Pca.psioa cmt in
+    (* Deterministic prologue: create the validators, submit, propose. *)
+    let q =
+      List.fold_left
+        (fun q a -> List.hd (Dist.support (Psioa.step auto q a)))
+        (Psioa.start auto)
+        [ Committee.add name 0; Committee.add name 1; Committee.add name 2;
+          Committee.submit name 0; Committee.propose name 0 ]
+    in
+    let tail = Psioa.make ~name:"round" ~start:q ~signature:(Psioa.signature auto)
+        ~transition:(Psioa.transition auto) in
+    let inj = Fault.injector ~faults:(List.init 3 (Committee.crash name)) () in
+    let sys = Compose.pair inj tail in
+    let sched =
+      Fault.budget_sched budget (Scheduler.bounded 12 (Scheduler.uniform sys))
+    in
+    let pred = function
+      | Value.Pair (_, qc) -> Committee.committed cmt qc = [ 0 ]
+      | _ -> false
+    in
+    Measure.reach_prob ~memo:true sys sched ~depth:12 ~pred
+  in
+  let rows =
+    List.map
+      (fun budget ->
+        let p_all, t = time_it (fun () -> commit_prob ~quorum:`All ~budget) in
+        let p_q = commit_prob ~quorum:(`At_least 2) ~budget in
+        [ cell budget; Rat.to_string p_all; Rat.to_string p_q; ms t ])
+      [ 0; 1; 2 ]
+  in
+  Pretty.table
+    ~header:[ "crash budget"; "P(commit) unanimity"; "P(commit) quorum 2/3"; "time(ms)" ]
+    rows;
+  let p budget col = List.nth (List.nth rows budget) col in
+  let ok =
+    record_check ~experiment:"E17"
+      (p 0 1 = "1" && p 0 2 = "1" && p 1 1 <> "1" && p 1 2 = "1" && p 2 2 <> "1")
+  in
+  Printf.printf
+    "claim: a 2-of-3 quorum commits surely under any single crash (exact P = 1);\n\
+     unanimity already loses liveness at crash budget 1: %s\n" (verdict ok)
+
 let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
             ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-            ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("A3", a3) ]
+            ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("A3", a3) ]

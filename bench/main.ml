@@ -1,18 +1,22 @@
 (* Benchmark & experiment harness.
 
-     dune exec bench/main.exe            — run every experiment + micro suite
-     dune exec bench/main.exe -- E3 E6   — run selected experiments
-     dune exec bench/main.exe -- micro   — micro-benchmarks only
+     dune exec bench/main.exe               — run every experiment + micro suite
+     dune exec bench/main.exe -- E3 E6      — run selected experiments
+     dune exec bench/main.exe -- micro      — micro-benchmarks only
+     dune exec bench/main.exe -- check-json — validate BENCH_cdse.json keys
 
    Each experiment regenerates one table of EXPERIMENTS.md; checks on the
    theorem-predicted shapes are enforced (non-zero exit on violation). *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let run_micro = args = [] || List.mem "micro" args in
-  let selected name = args = [] || List.mem name args in
-  print_endline "cdse experiment harness — composable dynamic secure emulation";
-  print_endline "(paper: brief announcement, no tables/figures; experiments per DESIGN.md §5)";
-  List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
-  if run_micro then Bench_json.emit (Micro.run ());
-  Workbench.summary ()
+  if List.mem "check-json" args then Bench_json.check ()
+  else begin
+    let run_micro = args = [] || List.mem "micro" args in
+    let selected name = args = [] || List.mem name args in
+    print_endline "cdse experiment harness — composable dynamic secure emulation";
+    print_endline "(paper: brief announcement, no tables/figures; experiments per DESIGN.md §5)";
+    List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
+    if run_micro then Bench_json.emit (Micro.run ());
+    Workbench.summary ()
+  end

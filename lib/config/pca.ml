@@ -86,7 +86,7 @@ let check_constraints ?max_states ?max_depth x =
   let reg = x.registry in
   let check_state q =
     let c = x.config_of q in
-    let errf fmt = Format.kasprintf (fun s -> Error s) fmt in
+    let errf fmt = Format.kasprintf (fun s -> Error s) ("PCA %S: " ^^ fmt) x.name in
     if not (Config.is_reduced reg c) then errf "state %a: configuration not reduced" Value.pp q
     else if not (Config.compatible reg c) then errf "state %a: configuration not compatible" Value.pp q
     else begin
@@ -130,7 +130,8 @@ let check_constraints ?max_states ?max_depth x =
       (fun (id, q) -> Value.equal q (Psioa.start (Registry.find reg id)))
       (Config.entries c0)
   in
-  if not start_ok then Error "start state does not map members to their start states"
+  if not start_ok then
+    Error (Printf.sprintf "PCA %S: start state does not map members to their start states" x.name)
   else
     List.fold_left
       (fun acc q -> match acc with Error _ -> acc | Ok () -> check_state q)

@@ -15,6 +15,8 @@
       {!Compose}, {!Hide}, {!Rename}, {!Registry}: PSIOA (Section 2).
     - {!Scheduler}, {!Schema}, {!Measure}, {!Insight}, {!Balance}:
       schedulers and external perception (Section 3).
+    - {!Fault}: composable fault injection — crash wrappers, adversarial
+      channels, fault injectors and scheduler-level fault budgets.
     - {!Config}, {!Ctrans}, {!Pca}: configuration automata (Section 2.5–6).
     - {!Encode}, {!Machines}, {!Bounded}, {!Family}, {!Negligible}:
       the bounded layer (Sections 4.1–4.5).
@@ -63,6 +65,9 @@ module Measure = Cdse_sched.Measure
 module Insight = Cdse_sched.Insight
 module Balance = Cdse_sched.Balance
 module Task = Cdse_sched.Task
+
+(* fault *)
+module Fault = Cdse_fault.Fault
 
 (* config *)
 module Config = Cdse_config.Config

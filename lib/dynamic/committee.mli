@@ -38,7 +38,19 @@ val build : ?max_validators:int -> ?blocks:int -> ?quorum:[ `All | `At_least of 
     only reconfigures while idle, so a proposal always reaches a stable
     membership. [quorum] selects unanimity (default) or a crash-tolerant
     threshold: with [`At_least t] a block commits once [t] votes arrive,
-    even if other validators crashed mid-round. *)
+    even if other validators crashed mid-round.
+
+    {b [`All] deadlocks under a single crash.} The unanimity rule waits
+    for {e every member the chair counts}; a {!crash} destroys a
+    validator without the chair's knowledge, so the crashed member's vote
+    never arrives, [commit] never becomes enabled, and the round wedges
+    permanently — the classic fail-stop liveness failure of unanimous
+    consensus. The mitigation is a threshold quorum: with [`At_least t]
+    and at most [members − t] crashes per round, the remaining votes
+    still reach [t] and commit probability stays 1. The regression test
+    [fault-tolerance] in [test/test_dynamic.ml] pins both behaviours as
+    exact reachability probabilities (via [Fault.injector] +
+    [Fault.budget]), and experiment E17 sweeps the crash budget. *)
 
 val members : Pca.t -> Value.t -> int list
 (** Validator indices the chair currently counts as members. *)

@@ -1,0 +1,231 @@
+open Cdse_prob
+open Cdse_psioa
+open Cdse_sched
+
+(* Wrapped states are tagged so fault wrappers nest and never collide with
+   the wrapped automaton's own state space. *)
+let live_tag = "fault-live"
+let dead_tag = "fault-dead"
+
+let crash_action n = Action.make (n ^ ".crash")
+let recover_action n = Action.make (n ^ ".recover")
+
+(* ------------------------------------------------------------- crashes *)
+
+(* Shared shape of crash_stop / crash_recover: live states carry the
+   original signature plus the crash input; the dead state remembers the
+   crash-time state [q0] and absorbs (self-loops) the inputs that were
+   enabled there — the signature shrinks to inputs only, exactly the
+   state-dependent shrinking Definition 2.1 permits, and input-enabledness
+   towards composition partners is preserved. [revive] is the recover
+   behaviour of the dead state, or [None] for crash-stop. *)
+let crash_wrap ~suffix ~crash ~revive auto =
+  let live q = Value.tag live_tag q in
+  let dead q = Value.tag dead_tag q in
+  let dead_inputs q0 = Action_set.add crash (Sigs.input (Psioa.signature auto q0)) in
+  let signature q =
+    match q with
+    | Value.Tag (t, q0) when String.equal t live_tag ->
+        let s = Psioa.signature auto q0 in
+        Sigs.make
+          ~input:(Action_set.add crash (Sigs.input s))
+          ~output:(Sigs.output s) ~internal:(Sigs.internal s)
+    | Value.Tag (t, q0) when String.equal t dead_tag ->
+        let input =
+          match revive with
+          | None -> dead_inputs q0
+          | Some (rec_act, _) -> Action_set.add rec_act (dead_inputs q0)
+        in
+        Sigs.make ~input ~output:Action_set.empty ~internal:Action_set.empty
+    | _ -> Sigs.empty
+  in
+  let transition q a =
+    match q with
+    | Value.Tag (t, q0) when String.equal t live_tag ->
+        if Action.equal a crash then Some (Vdist.dirac (dead q0))
+        else Option.map (Vdist.map live) (Psioa.transition auto q0 a)
+    | Value.Tag (t, q0) when String.equal t dead_tag -> (
+        match revive with
+        | Some (rec_act, reboot) when Action.equal a rec_act ->
+            Some (Vdist.dirac (live (reboot q0)))
+        | _ ->
+            if Action_set.mem a (dead_inputs q0) then Some (Vdist.dirac q)
+            else None)
+    | _ -> None
+  in
+  Psioa.make
+    ~name:(Psioa.name auto ^ suffix)
+    ~start:(live (Psioa.start auto))
+    ~signature ~transition
+
+let crash_stop ?crash auto =
+  let crash = match crash with Some a -> a | None -> crash_action (Psioa.name auto) in
+  crash_wrap ~suffix:"+crash" ~crash ~revive:None auto
+
+let crash_recover ?crash ?recover ?reboot auto =
+  let crash = match crash with Some a -> a | None -> crash_action (Psioa.name auto) in
+  let recover = match recover with Some a -> a | None -> recover_action (Psioa.name auto) in
+  let reboot = match reboot with Some f -> f | None -> fun _ -> Psioa.start auto in
+  crash_wrap ~suffix:"+crash-recover" ~crash ~revive:(Some (recover, reboot)) auto
+
+(* ------------------------------------------------------------ channels *)
+
+let wire ~channel a = Action.with_name (fun n -> channel ^ "/" ^ n) a
+
+(* A channel interposer is a bounded FIFO buffer over the interposed action
+   set, plus one locally controlled fault action characteristic of the
+   channel kind. The buffer holds indices into [acts]; states are
+   [Tag ("chan", List [Int i; …])]. Inputs (the wire actions) are enabled
+   in every state — a message arriving on a full buffer is absorbed, so
+   the channel never blocks its sender. *)
+let channel_auto ~fault_suffix ~fault_enabled ~fault_step ?(cap = 8) ~name ~acts () =
+  let acts = Array.of_list acts in
+  let n_acts = Array.length acts in
+  if n_acts = 0 then invalid_arg (name ^ ": empty interposed action set");
+  let wires = Array.map (fun a -> wire ~channel:name a) acts in
+  let fault = Action.make (name ^ fault_suffix) in
+  let st buf = Value.tag "chan" (Value.list (List.map Value.int buf)) in
+  let buf_of = function
+    | Value.Tag ("chan", Value.List l) ->
+        Some (List.filter_map (function Value.Int i -> Some i | _ -> None) l)
+    | _ -> None
+  in
+  let wire_idx a =
+    let rec go i = if i >= n_acts then None else if Action.equal wires.(i) a then Some i else go (i + 1) in
+    go 0
+  in
+  let signature q =
+    match buf_of q with
+    | None -> Sigs.empty
+    | Some buf ->
+        let output =
+          match buf with [] -> Action_set.empty | hd :: _ -> Action_set.singleton acts.(hd)
+        in
+        let internal =
+          if fault_enabled ~cap buf then Action_set.singleton fault else Action_set.empty
+        in
+        Sigs.make ~input:(Action_set.of_list (Array.to_list wires)) ~output ~internal
+  in
+  let transition q a =
+    match buf_of q with
+    | None -> None
+    | Some buf -> (
+        match wire_idx a with
+        | Some i ->
+            (* Arrival: enqueue, or absorb when the buffer is full. *)
+            Some (Vdist.dirac (if List.length buf < cap then st (buf @ [ i ]) else q))
+        | None -> (
+            match buf with
+            | hd :: tl ->
+                if Action.equal a acts.(hd) then Some (Vdist.dirac (st tl))
+                else if Action.equal a fault && fault_enabled ~cap buf then
+                  Some (Vdist.dirac (st (fault_step ~cap ~hd ~tl buf)))
+                else None
+            | [] -> None))
+  in
+  Psioa.make ~name ~start:(st []) ~signature ~transition
+
+let lossy_channel ?cap ~name ~acts () =
+  channel_auto ?cap ~name ~acts ~fault_suffix:".drop"
+    ~fault_enabled:(fun ~cap:_ buf -> buf <> [])
+    ~fault_step:(fun ~cap:_ ~hd:_ ~tl _ -> tl)
+    ()
+
+let dup_channel ?cap ~name ~acts () =
+  channel_auto ?cap ~name ~acts ~fault_suffix:".dup"
+    ~fault_enabled:(fun ~cap buf -> buf <> [] && List.length buf < cap)
+    ~fault_step:(fun ~cap:_ ~hd ~tl _ -> hd :: hd :: tl)
+    ()
+
+let delay_channel ?cap ~name ~acts () =
+  channel_auto ?cap ~name ~acts ~fault_suffix:".skip"
+    ~fault_enabled:(fun ~cap:_ buf -> List.length buf >= 2)
+    ~fault_step:(fun ~cap:_ ~hd ~tl _ -> tl @ [ hd ])
+    ()
+
+let via ?name ~channel ~acts sender receiver =
+  let cname = Psioa.name channel in
+  let aset = Action_set.of_list acts in
+  let wired = Rename.psioa sender (Rename.only aset (fun _ a -> wire ~channel:cname a)) in
+  let composite = Compose.parallel ?name [ wired; channel; receiver ] in
+  Hide.psioa_const composite (Action_set.map_actions (wire ~channel:cname) aset)
+
+(* ------------------------------------------------------------ injector *)
+
+let injector ?(name = "fault-injector") ?(each = 1) ~faults () =
+  let faults = Array.of_list faults in
+  let n = Array.length faults in
+  let st counts = Value.tag "inj" (Value.list (List.map Value.int (Array.to_list counts))) in
+  let counts_of = function
+    | Value.Tag ("inj", Value.List l) ->
+        Some (Array.of_list (List.filter_map (function Value.Int i -> Some i | _ -> None) l))
+    | _ -> None
+  in
+  let signature q =
+    match counts_of q with
+    | Some counts when Array.length counts = n ->
+        let live = ref [] in
+        Array.iteri (fun i c -> if c > 0 then live := faults.(i) :: !live) counts;
+        Sigs.make ~input:Action_set.empty ~output:(Action_set.of_list !live)
+          ~internal:Action_set.empty
+    | _ -> Sigs.empty
+  in
+  let transition q a =
+    match counts_of q with
+    | Some counts when Array.length counts = n ->
+        let rec go i =
+          if i >= n then None
+          else if counts.(i) > 0 && Action.equal a faults.(i) then begin
+            let counts' = Array.copy counts in
+            counts'.(i) <- counts.(i) - 1;
+            Some (Vdist.dirac (st counts'))
+          end
+          else go (i + 1)
+        in
+        go 0
+    | _ -> None
+  in
+  Psioa.make ~name ~start:(st (Array.make n each)) ~signature ~transition
+
+(* ------------------------------------------------------------- budgets *)
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.equal (String.sub s i lb) sub || go (i + 1)) in
+  go 0
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
+
+let default_is_fault a =
+  let n = Action.name a in
+  contains ~sub:".crash" n || contains ~sub:".recover" n
+  || ends_with ~suffix:".drop" n || ends_with ~suffix:".dup" n
+  || ends_with ~suffix:".skip" n
+
+let count_faults ?(is_fault = default_is_fault) e =
+  List.fold_left (fun k a -> if is_fault a then k + 1 else k) 0 (Exec.actions e)
+
+let budget_sched ?(is_fault = default_is_fault) k sched =
+  { sched with
+    Scheduler.name = Printf.sprintf "fault-budget[%d] %s" k sched.Scheduler.name;
+    (* The choice depends on the fault count of the whole history, not
+       just (length, lstate): drop the memoryless promise. *)
+    memoryless = false;
+    choose =
+      (fun e ->
+        let d = sched.Scheduler.choose e in
+        if count_faults ~is_fault e < k then d
+        else
+          let kept = Dist.filter (fun a -> not (is_fault a)) d in
+          if Dist.size kept = Dist.size d then d
+          else
+            (* Condition on the surviving support, preserving the original
+               halting probability: mass(kept') = mass(d) exactly. *)
+            Dist.scale (Dist.mass d) (Dist.normalize kept)) }
+
+let budget ?is_fault k schema =
+  Schema.make
+    ~name:(Printf.sprintf "fault-budget[%d] %s" k schema.Schema.name)
+    (fun a -> List.map (budget_sched ?is_fault k) (Schema.instantiate schema a))

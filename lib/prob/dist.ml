@@ -208,6 +208,12 @@ let filter pred d =
         !keep;
       unsafe ~compare:d.cmp ~elts ~probs ~mass:!mass
 
+let normalize d =
+  if Array.length d.elts = 0 || Rat.equal d.mass Rat.one then d
+  else
+    let inv = Rat.inv d.mass in
+    { d with probs = Array.map (fun p -> Rat.mul inv p) d.probs; mass = Rat.one }
+
 let expect f d = fold (fun acc x p -> Rat.add acc (Rat.mul (f x) p)) Rat.zero d
 
 let equal a b =

@@ -80,6 +80,13 @@ val product_list : compare:('a -> 'a -> int) -> 'a t list -> 'a list t
 val filter : ('a -> bool) -> 'a t -> 'a t
 (** Restriction (sub-distribution; mass may drop). *)
 
+val normalize : 'a t -> 'a t
+(** Conditioning: scale a non-empty sub-distribution up to mass exactly 1
+    (the empty distribution stays empty). Used by scheduler combinators
+    that restrict a choice to a sub-support — e.g. the fault-budget
+    scheduler, which conditions on "no further fault" — without turning
+    the removed mass into spurious halting. *)
+
 val expect : ('a -> Rat.t) -> 'a t -> Rat.t
 (** Expected value of a rational-valued function. *)
 

@@ -9,6 +9,16 @@ type t = {
 
 exception Not_enabled of { automaton : string; state : Value.t; action : Action.t }
 
+(* An actionable rendering of the failure: which automaton, in which state
+   (fully rendered, not just its constructor), refused which action. *)
+let () =
+  Printexc.register_printer (function
+    | Not_enabled { automaton; state; action } ->
+        Some
+          (Printf.sprintf "Psioa.Not_enabled: automaton %S has no transition for action %s in state %s"
+             automaton (Action.to_string action) (Value.to_string state))
+    | _ -> None)
+
 let make ~name ~start ~signature ~transition = { name; start; signature; transition }
 
 let name a = a.name
@@ -90,7 +100,8 @@ let universal_actions ?max_states ?max_depth a =
 (* Check the Definition 2.1 constraints at one state. *)
 let check_state a q =
   match a.signature q with
-  | exception Sigs.Not_disjoint msg -> Error (Printf.sprintf "state %s: %s" (Value.to_string q) msg)
+  | exception Sigs.Not_disjoint msg ->
+      Error (Printf.sprintf "automaton %S, state %s: %s" a.name (Value.to_string q) msg)
   | s ->
       let check_action act acc =
         match acc with
@@ -99,21 +110,22 @@ let check_state a q =
             match a.transition q act with
             | None ->
                 Error
-                  (Printf.sprintf "state %s: enabled action %s has no transition"
-                     (Value.to_string q) (Action.to_string act))
+                  (Printf.sprintf "automaton %S, state %s: enabled action %s has no transition"
+                     a.name (Value.to_string q) (Action.to_string act))
             | Some d ->
                 if Dist.is_proper d then Ok ()
                 else
                   Error
-                    (Printf.sprintf "state %s, action %s: transition distribution has mass %s"
-                       (Value.to_string q) (Action.to_string act)
+                    (Printf.sprintf
+                       "automaton %S, state %s, action %s: transition distribution has mass %s"
+                       a.name (Value.to_string q) (Action.to_string act)
                        (Rat.to_string (Dist.mass d))))
       in
       Action_set.fold check_action (Sigs.all s) (Ok ())
 
 let validate ?max_states ?max_depth a =
   match reachable ?max_states ?max_depth a with
-  | exception Sigs.Not_disjoint msg -> Error msg
+  | exception Sigs.Not_disjoint msg -> Error (Printf.sprintf "automaton %S: %s" a.name msg)
   | states ->
       List.fold_left
         (fun acc q -> match acc with Error _ -> acc | Ok () -> check_state a q)

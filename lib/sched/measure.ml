@@ -1,6 +1,8 @@
 open Cdse_prob
 open Cdse_psioa
 
+type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
+
 (* Iteratively expand the cone frontier. [alive] holds executions the
    scheduler may still extend, [finished] the accumulated halting mass.
 
@@ -10,7 +12,25 @@ open Cdse_psioa
    the validated scheduler choice keyed by [(length, lstate)] instead of
    re-validating per execution. Both caches are per-call: the results are
    observationally identical, so the flag is purely a performance knob. *)
-let exec_dist ?(memo = false) auto sched ~depth =
+(* Keep the [keep] most probable entries of a frontier (ties broken by the
+   execution order, so truncation is deterministic) and return the dropped
+   mass. Only ever called when a budget is exceeded: the unbudgeted path
+   never sorts. *)
+let truncate_entries ~keep entries =
+  let arr = Array.of_list entries in
+  Array.stable_sort
+    (fun (e1, p1) (e2, p2) ->
+      let c = Rat.compare p2 p1 in
+      if c <> 0 then c else Exec.compare e1 e2)
+    arr;
+  let kept = ref [] and lost = ref Rat.zero in
+  Array.iteri
+    (fun i ((_, p) as entry) ->
+      if i < keep then kept := entry :: !kept else lost := Rat.add !lost p)
+    arr;
+  (List.rev !kept, !lost)
+
+let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width auto sched ~depth =
   let auto = if memo then Psioa.memoize auto else auto in
   let choice_of =
     if memo && Scheduler.is_memoryless sched then begin
@@ -29,17 +49,23 @@ let exec_dist ?(memo = false) auto sched ~depth =
     end
     else fun e -> Scheduler.validate_choice auto sched e
   in
-  let rec go step alive finished =
-    if step = depth || alive = [] then
-      Dist.make ~compare:Exec.compare (List.rev_append finished alive)
+  let finish alive finished lost =
+    let d = Dist.make ~compare:Exec.compare (List.rev_append finished alive) in
+    if Rat.is_zero lost then `Exact d else `Truncated (d, lost)
+  in
+  let rec go step alive n_finished finished lost =
+    if step = depth || alive = [] then finish alive finished lost
     else begin
-      let alive' = ref [] and finished' = ref finished in
+      let alive' = ref [] and finished' = ref finished and n_finished' = ref n_finished in
       List.iter
         (fun (e, p) ->
           let choice = choice_of e in
           if not (Dist.is_proper choice) then begin
             let halt_mass = Rat.mul p (Dist.deficit choice) in
-            if not (Rat.is_zero halt_mass) then finished' := (e, halt_mass) :: !finished'
+            if not (Rat.is_zero halt_mass) then begin
+              finished' := (e, halt_mass) :: !finished';
+              incr n_finished'
+            end
           end;
           let q = Exec.lstate e in
           Dist.iter
@@ -51,10 +77,30 @@ let exec_dist ?(memo = false) auto sched ~depth =
                 eta)
             choice)
         alive;
-      go (step + 1) !alive' !finished'
+      (* Width budget: prune the frontier to its most probable executions,
+         accounting the pruned mass as truncation deficit. *)
+      let alive', lost =
+        match max_width with
+        | Some w when List.length !alive' > w ->
+            let kept, dropped = truncate_entries ~keep:w !alive' in
+            (kept, Rat.add lost dropped)
+        | _ -> (!alive', lost)
+      in
+      (* Support budget: once completed + frontier executions exceed the
+         cap, stop expanding — the surviving frontier is reported as
+         completed (a partial measure), the rest as deficit. *)
+      match max_execs with
+      | Some cap when !n_finished' + List.length alive' > cap ->
+          let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
+          finish kept !finished' (Rat.add lost dropped)
+      | _ -> go (step + 1) alive' !n_finished' !finished' lost
     end
   in
-  go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] []
+  go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] 0 [] Rat.zero
+
+let exec_dist ?memo ?max_execs ?max_width auto sched ~depth =
+  match exec_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth with
+  | `Exact d | `Truncated (d, _) -> d
 
 let cone_prob auto sched alpha =
   let rec go acc prefix = function
@@ -72,25 +118,45 @@ let cone_prob auto sched alpha =
   if not (Value.equal (Exec.fstate alpha) (Psioa.start auto)) then Rat.zero
   else go Rat.one (Exec.init (Psioa.start auto)) (Exec.steps alpha)
 
-let trace_dist ?memo auto sched ~depth =
+let map_budgeted f = function
+  | `Exact d -> `Exact (f d)
+  | `Truncated (d, lost) -> `Truncated (f d, lost)
+
+let trace_of auto = Exec.trace ~sig_of:(Psioa.signature auto)
+
+let trace_dist ?memo ?max_execs ?max_width auto sched ~depth =
   Dist.map
     ~compare:(Cdse_util.Order.list Action.compare)
-    (Exec.trace ~sig_of:(Psioa.signature auto))
-    (exec_dist ?memo auto sched ~depth)
+    (trace_of auto)
+    (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
 
-let n_execs ?memo auto sched ~depth = Dist.size (exec_dist ?memo auto sched ~depth)
+let trace_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth =
+  map_budgeted
+    (Dist.map ~compare:(Cdse_util.Order.list Action.compare) (trace_of auto))
+    (exec_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth)
+
+let n_execs ?memo ?max_execs ?max_width auto sched ~depth =
+  Dist.size (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
 
 (* Probabilistic reachability: mass of completed executions that visit a
    state satisfying the predicate within the depth bound. *)
-let reach_prob ?memo auto sched ~depth ~pred =
-  let d = exec_dist ?memo auto sched ~depth in
+let reach_mass ~pred d =
   Dist.fold
     (fun acc e p -> if List.exists pred (Exec.states e) then Rat.add acc p else acc)
     Rat.zero d
 
+let reach_prob ?memo ?max_execs ?max_width auto sched ~depth ~pred =
+  reach_mass ~pred (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
+
+let reach_prob_budgeted ?memo ?max_execs ?max_width auto sched ~depth ~pred =
+  map_budgeted (reach_mass ~pred)
+    (exec_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth)
+
 (* Expected number of scheduled steps of the completed execution. *)
-let expected_steps ?memo auto sched ~depth =
-  Dist.expect (fun e -> Rat.of_int (Exec.length e)) (exec_dist ?memo auto sched ~depth)
+let expected_steps ?memo ?max_execs ?max_width auto sched ~depth =
+  Dist.expect
+    (fun e -> Rat.of_int (Exec.length e))
+    (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
 
 (* Monte-Carlo estimation: drive sampled runs instead of expanding the
    exact cone tree. The estimator trades exactness for scale — the exact

@@ -5,12 +5,38 @@
     measure is a finite discrete distribution over completed executions:
     an execution is {e completed} when the scheduler halts on it (deficit
     mass) or the depth limit is reached. When [σ] is [b]-bounded
-    (Definition 4.6) and [depth ≥ b], the result is exactly [ε_σ]. *)
+    (Definition 4.6) and [depth ≥ b], the result is exactly [ε_σ].
+
+    {2 Budgets and graceful degradation}
+
+    Exact cone expansion is exponential in depth on branching systems.
+    The [?max_execs] / [?max_width] budgets bound the work while keeping
+    the result {e exact about its own incompleteness}: the computed
+    sub-distribution is a true lower bound of [ε_σ] on every execution it
+    contains, and the discarded mass is returned as an explicit deficit,
+    so [mass + deficit = 1] as exact rationals.
+
+    - [?max_width w] prunes each frontier layer to its [w] most probable
+      executions (ties broken by {!Exec.compare}, so truncation is
+      deterministic).
+    - [?max_execs n] caps the support of the result: once completed plus
+      frontier executions exceed [n], expansion stops and the surviving
+      frontier is reported as completed.
+
+    Without budgets the computation is untouched — same code path, same
+    results, bit for bit. *)
 
 open Cdse_prob
 open Cdse_psioa
 
-val exec_dist : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> Exec.t Dist.t
+type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
+(** Outcome of a budgeted computation: [`Exact v] when no budget was hit,
+    [`Truncated (v, deficit)] when pruning occurred — [deficit] is the
+    exact probability mass the budgets discarded. *)
+
+val exec_dist :
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  Exec.t Dist.t
 (** Exact distribution over completed executions up to [depth] steps.
     Raises {!Scheduler.Bad_choice} if the scheduler violates the
     Definition 3.1 support condition.
@@ -20,26 +46,59 @@ val exec_dist : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> Exec.t Dist
     the cone frontier (via {!Psioa.memoize}), and for
     {!Scheduler.is_memoryless} schedulers the validated choice is cached
     keyed by [(length, last state)] instead of being recomputed per
-    execution. Observationally identical; caches live only for the call. *)
+    execution. Observationally identical; caches live only for the call.
+
+    With [?max_execs] / [?max_width] the result may be a sub-distribution
+    (truncation deficit silently folded into the distribution's own
+    {!Dist.deficit}); use {!exec_dist_budgeted} when the caller must
+    distinguish scheduler halting from budget truncation. *)
+
+val exec_dist_budgeted :
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  Exec.t Dist.t budgeted
+(** Like {!exec_dist}, but reports budget truncation explicitly:
+    [`Truncated (d, lost)] satisfies [Dist.mass d + Dist.deficit d' + lost]
+    accounting such that the measure's total mass plus [lost] is exactly
+    the unbudgeted total. Without budgets, always [`Exact]. *)
 
 val cone_prob : Psioa.t -> Scheduler.t -> Exec.t -> Rat.t
 (** [ε_σ(C_α)]: the probability that the scheduled run extends [α]
     (Section 3's cone measure), computed as the product of scheduler and
     transition probabilities along [α]. *)
 
-val trace_dist : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> Action.t list Dist.t
+val trace_dist :
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  Action.t list Dist.t
 (** Pushforward of {!exec_dist} through the trace map (Definition 2.2). *)
 
-val n_execs : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> int
+val trace_dist_budgeted :
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  Action.t list Dist.t budgeted
+(** Budget-aware {!trace_dist}: the pushforward of {!exec_dist_budgeted},
+    carrying the truncation deficit through unchanged. *)
+
+val n_execs :
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int -> int
 (** Support size of {!exec_dist} — used by the scaling benchmarks (E7). *)
 
 val reach_prob :
-  ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Cdse_prob.Rat.t
+  ?memo:bool -> ?max_execs:int -> ?max_width:int ->
+  Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Cdse_prob.Rat.t
 (** Exact probability that a completed execution visits a state satisfying
-    [pred] within [depth] steps. *)
+    [pred] within [depth] steps. Under budgets this is a lower bound. *)
 
-val expected_steps : ?memo:bool -> Psioa.t -> Scheduler.t -> depth:int -> Cdse_prob.Rat.t
-(** Expected length of the completed execution (exact). *)
+val reach_prob_budgeted :
+  ?memo:bool -> ?max_execs:int -> ?max_width:int ->
+  Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Rat.t budgeted
+(** Budget-aware reachability: [`Truncated (p, lost)] brackets the true
+    probability in [[p, p + lost]] — the deficit mass may or may not have
+    reached [pred]. *)
+
+val expected_steps :
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  Cdse_prob.Rat.t
+(** Expected length of the completed execution (exact; under budgets, the
+    expectation over the computed sub-distribution). *)
 
 (** {2 Monte-Carlo estimation}
 

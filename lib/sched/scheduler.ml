@@ -10,6 +10,17 @@ type t = {
 
 exception Bad_choice of { scheduler : string; state : Value.t; action : Action.t }
 
+(* Name the scheduler, render the offending state in full and show the
+   action: enough to reproduce the bad choice without a debugger. *)
+let () =
+  Printexc.register_printer (function
+    | Bad_choice { scheduler; state; action } ->
+        Some
+          (Printf.sprintf
+             "Scheduler.Bad_choice: scheduler %S chose action %s outside the signature at state %s"
+             scheduler (Action.to_string action) (Value.to_string state))
+    | _ -> None)
+
 let make ?(memoryless = false) ?(validated = false) ~name choose =
   { name; memoryless; validated; choose }
 

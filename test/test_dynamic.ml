@@ -243,6 +243,51 @@ let test_quorum_safety_reachable () =
         | None -> Alcotest.fail "commit outside collection")
     (Psioa.reachable ~max_states:500 ~max_depth:8 qa)
 
+let rat = Alcotest.testable (Fmt.of_to_string Rat.to_string) Rat.equal
+
+let test_fault_budget_commit_prob () =
+  (* Regression for the committee.mli liveness note, computed as an exact
+     reachability probability: crashes become schedulable via
+     Fault.injector, the total is capped by Fault.budget_sched, and the
+     uniform scheduler adversarially interleaves crashes with the round.
+     A 3-validator `At_least 2 committee commits with probability exactly
+     1 under any single crash; two crashes can wedge it, and the
+     unanimous committee wedges under even one. *)
+  let commit_prob ~quorum ~budget =
+    let cmt = Committee.build ~max_validators:3 ~blocks:1 ~quorum n in
+    let auto = Pca.psioa cmt in
+    let q =
+      List.fold_left
+        (fun q a -> List.hd (Dist.support (Psioa.step auto q a)))
+        (Psioa.start auto)
+        [ Committee.add n 0; Committee.add n 1; Committee.add n 2;
+          Committee.submit n 0; Committee.propose n 0 ]
+    in
+    let tail =
+      Psioa.make ~name:"round" ~start:q ~signature:(Psioa.signature auto)
+        ~transition:(Psioa.transition auto)
+    in
+    let inj = Cdse_fault.Fault.injector ~faults:(List.init 3 (Committee.crash n)) () in
+    let sys = Compose.pair inj tail in
+    let sched =
+      Cdse_fault.Fault.budget_sched budget
+        (Cdse_sched.Scheduler.bounded 12 (Cdse_sched.Scheduler.uniform sys))
+    in
+    let pred = function
+      | Value.Pair (_, qc) -> Committee.committed cmt qc = [ 0 ]
+      | _ -> false
+    in
+    Cdse_sched.Measure.reach_prob ~memo:true sys sched ~depth:12 ~pred
+  in
+  Alcotest.check rat "quorum 2-of-3 tolerates one crash: P(commit) = 1 exactly" Rat.one
+    (commit_prob ~quorum:(`At_least 2) ~budget:1);
+  let p_two = commit_prob ~quorum:(`At_least 2) ~budget:2 in
+  Alcotest.(check bool) "two crashes can wedge the quorum round" true
+    (Rat.compare p_two Rat.one < 0 && Rat.sign p_two > 0);
+  let p_all = commit_prob ~quorum:`All ~budget:1 in
+  Alcotest.(check bool) "unanimity wedges under a single crash" true
+    (Rat.compare p_all Rat.one < 0 && Rat.sign p_all > 0)
+
 let test_committee_secure_emulation () =
   (* The dynamic committee PCA securely emulates the atomic-commit
      functionality (Definition 4.26 on a PCA): with the scheduling surface
@@ -296,6 +341,9 @@ let () =
           Alcotest.test_case "quorum commits despite crash" `Quick test_quorum_commits_despite_crash;
           Alcotest.test_case "unanimity blocks on crash" `Quick test_unanimous_blocks_on_crash;
           Alcotest.test_case "quorum safety (≥ t votes)" `Quick test_quorum_safety_reachable ] );
+      ( "fault-tolerance",
+        [ Alcotest.test_case "commit probability vs crash budget (exact)" `Slow
+            test_fault_budget_commit_prob ] );
       ( "churn-driver",
         [ Alcotest.test_case "deterministic under seed" `Quick test_drive_deterministic;
           Alcotest.test_case "stats sane" `Quick test_drive_stats_sane;

@@ -129,6 +129,66 @@ let test_trace_dist () =
   Alcotest.(check int) "two traces" 2 (Dist.size d);
   Alcotest.check rat "heads trace 1/2" Rat.half (Dist.prob d [ act "c.heads" ])
 
+(* ------------------------------------------------------- Budgeted measure *)
+
+let test_budget_exact_when_unhit () =
+  (* Budgets loose enough never to fire leave the measure bit-for-bit
+     identical to the unbudgeted computation, and report [`Exact]. *)
+  let c = Fixtures.coin "c" in
+  let sched = Scheduler.bounded 4 (Scheduler.uniform c) in
+  let plain = Measure.exec_dist c sched ~depth:5 in
+  (match Measure.exec_dist_budgeted c sched ~depth:5 with
+  | `Exact d -> Alcotest.(check bool) "no budgets: same dist" true (Dist.equal d plain)
+  | `Truncated _ -> Alcotest.fail "no budget given, yet truncated");
+  match Measure.exec_dist_budgeted ~max_execs:100_000 ~max_width:100_000 c sched ~depth:5 with
+  | `Exact d -> Alcotest.(check bool) "loose budgets: same dist" true (Dist.equal d plain)
+  | `Truncated _ -> Alcotest.fail "loose budgets must not truncate"
+
+let test_budget_truncation_mass_accounting () =
+  let w = Fixtures.random_walk ~span:4 "rw" in
+  let sched = Scheduler.bounded 6 (Scheduler.uniform w) in
+  let full = Measure.exec_dist w sched ~depth:7 in
+  Alcotest.(check bool) "enough branching to truncate" true (Dist.size full > 4);
+  match Measure.exec_dist_budgeted ~max_execs:3 w sched ~depth:7 with
+  | `Exact _ -> Alcotest.fail "cap below support size must truncate"
+  | `Truncated (d, lost) ->
+      Alcotest.(check bool) "support within cap" true (Dist.size d <= 3);
+      Alcotest.(check bool) "deficit strictly positive" true (Rat.sign lost > 0);
+      Alcotest.check rat "dist mass + deficit = 1 exactly" Rat.one
+        (Rat.add (Dist.mass d) lost);
+      (* the memoized path truncates identically *)
+      (match Measure.exec_dist_budgeted ~memo:true ~max_execs:3 w sched ~depth:7 with
+      | `Truncated (d', lost') ->
+          Alcotest.(check bool) "memo: same dist" true (Dist.equal d d');
+          Alcotest.check rat "memo: same deficit" lost lost'
+      | `Exact _ -> Alcotest.fail "memoized path must truncate too")
+
+let test_budget_width_is_exact_submeasure () =
+  (* Width pruning drops whole cones but never rescales: every retained
+     execution keeps its exact unbudgeted probability. *)
+  let w = Fixtures.random_walk ~span:4 "rw" in
+  let sched = Scheduler.bounded 6 (Scheduler.uniform w) in
+  match Measure.exec_dist_budgeted ~max_width:2 w sched ~depth:7 with
+  | `Exact _ -> Alcotest.fail "width 2 must truncate the walk"
+  | `Truncated (d, lost) ->
+      Alcotest.check rat "mass + deficit = 1" Rat.one (Rat.add (Dist.mass d) lost);
+      let full = Measure.exec_dist w sched ~depth:7 in
+      List.iter
+        (fun (e, p) -> Alcotest.check rat "retained prob is exact" (Dist.prob full e) p)
+        (Dist.items d)
+
+let test_budget_reach_prob_brackets () =
+  let c = Fixtures.coin "c" in
+  let sched = Scheduler.bounded 3 (Scheduler.uniform c) in
+  let pred q = Value.equal q (Value.tag "heads" Value.unit) in
+  let exact = Measure.reach_prob c sched ~depth:4 ~pred in
+  match Measure.reach_prob_budgeted ~max_execs:1 c sched ~depth:4 ~pred with
+  | `Exact _ -> Alcotest.fail "support 2 capped at 1 must truncate"
+  | `Truncated (p, lost) ->
+      Alcotest.(check bool) "lower bound" true (Rat.compare p exact <= 0);
+      Alcotest.(check bool) "upper bound p + deficit" true
+        (Rat.compare exact (Rat.add p lost) <= 0)
+
 (* ---------------------------------------------------------------- Insight *)
 
 let coin_env_composite name p =
@@ -326,6 +386,14 @@ let () =
           Alcotest.test_case "Monte-Carlo converges" `Quick test_estimate_fdist_converges;
           Alcotest.test_case "reachability probability (exact)" `Quick test_reach_prob_walk;
           Alcotest.test_case "expected steps (exact)" `Quick test_expected_steps ] );
+      ( "budgeted-measure",
+        [ Alcotest.test_case "loose budgets are exact" `Quick test_budget_exact_when_unhit;
+          Alcotest.test_case "truncation: mass + deficit = 1" `Quick
+            test_budget_truncation_mass_accounting;
+          Alcotest.test_case "width pruning is an exact sub-measure" `Quick
+            test_budget_width_is_exact_submeasure;
+          Alcotest.test_case "budgeted reach_prob brackets" `Quick
+            test_budget_reach_prob_brackets ] );
       ( "insight",
         [ Alcotest.test_case "accept (Def 3.4)" `Quick test_accept_insight;
           Alcotest.test_case "accept detects bias" `Quick test_accept_detects_bias;
