@@ -31,6 +31,58 @@ let macro_baseline =
 
 let depths = [ 3; 4; 5; 6 ]
 
+(* ----------------------------------------------------------- counters *)
+
+(* Numeric counter keys of the per-cell "counters" block, in emission
+   order. "truncation_deficit" is emitted separately as a string so the
+   exact rational round-trips through [Rat.of_string], and
+   "memo_hit_rate" as a float. *)
+let counter_keys =
+  [ "frontier_width_max"; "frontier_layers"; "finished"; "memo_hits";
+    "memo_misses"; "choice_hits"; "choice_misses"; "rat_promotions";
+    "sched_validations" ]
+
+(* Run [f] once with stats enabled and render the engine counters as the
+   JSON "counters" object. Collection is a separate run from the timing
+   loop, which executes with stats in whatever state the caller left them
+   — the emitted ms/op never includes instrumentation overhead. *)
+let counters_json f =
+  let (), snap = Obs.with_stats (fun () -> ignore (Sys.opaque_identity (f ()))) in
+  let c name = Option.value ~default:0 (List.assoc_opt name snap.Obs.s_counters) in
+  let width_max =
+    match List.assoc_opt "measure.frontier.width" snap.Obs.s_histograms with
+    | Some h -> h.Obs.h_max
+    | None -> 0
+  in
+  let hits = c "psioa.memo.step.hit" and misses = c "psioa.memo.step.miss" in
+  let hit_rate =
+    if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let deficit =
+    Option.value ~default:"0" (List.assoc_opt "measure.truncation_deficit" snap.Obs.s_gauges)
+  in
+  let num =
+    List.map
+      (fun k ->
+        let v =
+          match k with
+          | "frontier_width_max" -> width_max
+          | "frontier_layers" -> c "measure.layers"
+          | "finished" -> c "measure.finished"
+          | "memo_hits" -> hits
+          | "memo_misses" -> misses
+          | "choice_hits" -> c "measure.choice.hit"
+          | "choice_misses" -> c "measure.choice.miss"
+          | "rat_promotions" -> c "rat.promotions"
+          | "sched_validations" -> c "sched.validations"
+          | k -> invalid_arg ("counters_json: " ^ k)
+        in
+        Printf.sprintf "\"%s\": %d" k v)
+      counter_keys
+  in
+  Printf.sprintf "{%s, \"memo_hit_rate\": %.4f, \"truncation_deficit\": \"%s\"}"
+    (String.concat ", " num) hit_rate deficit
+
 let wall f =
   let t0 = Unix.gettimeofday () in
   let iters = ref 0 in
@@ -52,25 +104,29 @@ let measure_macro () =
         List.map
           (fun depth ->
             let sched = Scheduler.bounded depth (Scheduler.uniform auto) in
-            (depth, wall (fun () -> Measure.exec_dist ~memo:true auto sched ~depth)))
+            let run () = Measure.exec_dist ~memo:true auto sched ~depth in
+            let counters = counters_json run in
+            (depth, wall run, counters))
           depths ))
     workloads
 
-let entry ?(digits = 1) baseline current =
+let entry ?(digits = 1) ?(extra = "") baseline current =
   match baseline with
   | Some b ->
-      Printf.sprintf "{\"baseline\": %.*f, \"current\": %.*f, \"speedup\": %.2f}" digits b
-        digits current (b /. current)
-  | None -> Printf.sprintf "{\"baseline\": null, \"current\": %.*f, \"speedup\": null}" digits current
+      Printf.sprintf "{\"baseline\": %.*f, \"current\": %.*f, \"speedup\": %.2f%s}" digits b
+        digits current (b /. current) extra
+  | None ->
+      Printf.sprintf "{\"baseline\": null, \"current\": %.*f, \"speedup\": null%s}" digits
+        current extra
 
 let emit micro_rows =
   let macro = measure_macro () in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cdse-bench/1\",\n";
+  add "  \"schema\": \"cdse-bench/2\",\n";
   add "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
-  add "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\"},\n";
+  add "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\"},\n";
   add "  \"micro\": {\n";
   List.iteri
     (fun i (name, current) ->
@@ -85,10 +141,10 @@ let emit micro_rows =
       let base = List.assoc_opt name macro_baseline in
       add "    \"%s\": {\n" name;
       List.iteri
-        (fun j (depth, current) ->
+        (fun j (depth, current, counters) ->
           let baseline = Option.bind base (List.assoc_opt depth) in
           add "      \"%d\": %s%s\n" depth
-            (entry ~digits:4 baseline current)
+            (entry ~digits:4 ~extra:(", \"counters\": " ^ counters) baseline current)
             (if j < List.length rows - 1 then "," else ""))
         rows;
       add "    }%s\n" (if i < List.length macro - 1 then "," else ""))
@@ -239,8 +295,8 @@ let check ?(path = "BENCH_cdse.json") () =
     | _ -> fail "top level is not an object"
   in
   (match List.assoc_opt "schema" fields with
-  | Some (Jstr "cdse-bench/1") -> ()
-  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/1\"" other
+  | Some (Jstr "cdse-bench/2") -> ()
+  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/2\"" other
   | _ -> fail "missing string key \"schema\"");
   List.iter
     (fun k -> if not (List.mem_assoc k fields) then fail "missing key %S" k)
@@ -260,6 +316,41 @@ let check ?(path = "BENCH_cdse.json") () =
         | _ -> fail "%s: \"current\" is not a number" ctx)
     | _ -> fail "%s: not an object" ctx
   in
+  (* The counters block: stable key set, numeric values, and an exact
+     truncation deficit — the string must reparse as a rational in [0,1]
+     via Rat.of_string. *)
+  let check_counters ctx = function
+    | Jobj c ->
+        List.iter
+          (fun k ->
+            if not (List.mem_assoc k c) then fail "%s: counters missing key %S" ctx k)
+          (counter_keys @ [ "memo_hit_rate"; "truncation_deficit" ]);
+        List.iter
+          (fun (k, v) ->
+            match (k, v) with
+            | "truncation_deficit", Jstr s -> (
+                match Rat.of_string s with
+                | r ->
+                    if not (Rat.is_proper_prob r) then
+                      fail "%s: truncation_deficit %S is not in [0,1]" ctx s
+                | exception _ ->
+                    fail "%s: truncation_deficit %S is not an exact rational" ctx s)
+            | "truncation_deficit", _ ->
+                fail "%s: truncation_deficit is not a string" ctx
+            | _, Jnum _ -> ()
+            | k, _ -> fail "%s: counter %S is not a number" ctx k)
+          c
+    | _ -> fail "%s: \"counters\" is not an object" ctx
+  in
+  let check_cell ctx e =
+    check_entry ctx e;
+    match e with
+    | Jobj fields -> (
+        match List.assoc_opt "counters" fields with
+        | Some c -> check_counters ctx c
+        | None -> fail "%s: missing field \"counters\"" ctx)
+    | _ -> ()
+  in
   let micro = objf "micro" in
   List.iter
     (fun (name, _) ->
@@ -276,11 +367,11 @@ let check ?(path = "BENCH_cdse.json") () =
             (fun (d, _) ->
               let k = string_of_int d in
               match List.assoc_opt k by_depth with
-              | Some e -> check_entry (Printf.sprintf "exec_dist.%s.%s" name k) e
+              | Some e -> check_cell (Printf.sprintf "exec_dist.%s.%s" name k) e
               | None -> fail "exec_dist.%s: depth %s missing" name k)
             base
       | _ -> fail "exec_dist: stable workload %S missing" name)
     macro_baseline;
   Printf.printf
-    "check-json: %s OK (schema cdse-bench/1, %d micro keys, %d workloads x %d depths)\n" path
-    (List.length micro_baseline) (List.length macro_baseline) (List.length depths)
+    "check-json: %s OK (schema cdse-bench/2, %d micro keys, %d workloads x %d depths, counters validated)\n"
+    path (List.length micro_baseline) (List.length macro_baseline) (List.length depths)

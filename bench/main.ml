@@ -5,18 +5,29 @@
      dune exec bench/main.exe -- micro      — micro-benchmarks only
      dune exec bench/main.exe -- check-json — validate BENCH_cdse.json keys
 
+   Add --stats to any run to collect engine observability counters
+   (lib/obs) and print a report at the end. Note that regenerating
+   BENCH_cdse.json ("micro") resets the counters per exec_dist cell while
+   gathering its counters block, so the final report then covers the runs
+   since the last cell.
+
    Each experiment regenerates one table of EXPERIMENTS.md; checks on the
    theorem-predicted shapes are enforced (non-zero exit on violation). *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let stats = List.mem "--stats" args in
+  let args = List.filter (fun a -> not (String.equal a "--stats")) args in
   if List.mem "check-json" args then Bench_json.check ()
   else begin
     let run_micro = args = [] || List.mem "micro" args in
     let selected name = args = [] || List.mem name args in
+    if stats then Cdse.Obs.set_enabled true;
     print_endline "cdse experiment harness — composable dynamic secure emulation";
     print_endline "(paper: brief announcement, no tables/figures; experiments per DESIGN.md §5)";
     List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
     if run_micro then Bench_json.emit (Micro.run ());
-    Workbench.summary ()
+    Workbench.summary ();
+    if stats then
+      Format.printf "@.-- stats (--stats) --@.%a@." Cdse.Obs.report (Cdse.Obs.snapshot ())
   end

@@ -13,6 +13,22 @@ open Cmdliner
 
 let exit_flag ok = if ok then 0 else 1
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Collect engine observability counters (lib/obs) during the run and print a report afterwards")
+
+(* Run [f] with stats collection if requested; the report goes to stdout
+   after the command's own output. *)
+let run_with_stats stats f =
+  if not stats then f ()
+  else begin
+    let r, snap = Obs.with_stats f in
+    Format.printf "-- stats --@.%a@." Obs.report snap;
+    r
+  end
+
 (* --------------------------------------------------------------- validate *)
 
 let validate_cmd =
@@ -76,7 +92,7 @@ let measure_cmd =
       & opt (enum [ ("first", `First); ("uniform", `Uniform); ("round-robin", `Rr) ]) `Uniform
       & info [ "sched" ] ~docv:"S" ~doc:"Scheduler: first, uniform or round-robin")
   in
-  let run workload sched_kind depth seed =
+  let run workload sched_kind depth seed stats =
     let auto =
       match workload with
       | `Coin -> Cdse_gen.Workloads.coin "coin"
@@ -92,7 +108,10 @@ let measure_cmd =
       | `Uniform -> Scheduler.uniform auto
       | `Rr -> Scheduler.round_robin auto
     in
-    let d = Measure.exec_dist auto (Scheduler.bounded depth sched) ~depth in
+    let d =
+      run_with_stats stats (fun () ->
+          Measure.exec_dist auto (Scheduler.bounded depth sched) ~depth)
+    in
     Format.printf "%d completed executions, total mass %s@." (Dist.size d)
       (Rat.to_string (Dist.mass d));
     List.iter
@@ -104,7 +123,7 @@ let measure_cmd =
   in
   Cmd.v
     (Cmd.info "measure" ~doc:"Exact execution measure of a workload under a scheduler")
-    Term.(const run $ workload $ sched_kind $ depth_arg $ seed_arg)
+    Term.(const run $ workload $ sched_kind $ depth_arg $ seed_arg $ stats_arg)
 
 (* ---------------------------------------------------------------- emulate *)
 
@@ -294,9 +313,12 @@ let churn_cmd =
     Arg.(value & opt int 4 & info [ "subchains" ] ~docv:"N" ~doc:"Subchain budget")
   in
   let steps = Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc:"Driver steps") in
-  let run subchains steps seed =
+  let run subchains steps seed obs_stats =
     let system = Dynamic_system.build ~n_subchains:subchains ~max_total:(6 * subchains) () in
-    let stats = Dynamic_system.drive ~restart:true system ~rng:(Rng.make seed) ~steps in
+    let stats =
+      run_with_stats obs_stats (fun () ->
+          Dynamic_system.drive ~restart:true system ~rng:(Rng.make seed) ~steps)
+    in
     Format.printf "steps %d, created %d, destroyed %d, max alive %d, ledger total %d@."
       stats.Dynamic_system.steps_taken stats.Dynamic_system.creations
       stats.Dynamic_system.destructions stats.Dynamic_system.max_alive
@@ -305,7 +327,7 @@ let churn_cmd =
   in
   Cmd.v
     (Cmd.info "churn" ~doc:"Drive the dynamic subchain PCA under random churn")
-    Term.(const run $ subchains $ steps $ seed_arg)
+    Term.(const run $ subchains $ steps $ seed_arg $ stats_arg)
 
 let () =
   let info =

@@ -10,6 +10,7 @@
     The layers, bottom-up:
 
     - {!Bits}, {!Cost}, {!Poly}: encodings and the step meter (Section 4.1).
+    - {!Obs}: engine observability — counters, histograms, event sink.
     - {!Bignat}, {!Rat}, {!Dist}, {!Stat}, {!Rng}: exact probability.
     - {!Value}, {!Action}, {!Action_set}, {!Sigs}, {!Psioa}, {!Exec},
       {!Compose}, {!Hide}, {!Rename}, {!Registry}: PSIOA (Section 2).
@@ -33,6 +34,9 @@ module Cost = Cdse_util.Cost
 module Poly = Cdse_util.Poly
 module Order = Cdse_util.Order
 module Pretty = Cdse_util.Pretty
+
+(* obs *)
+module Obs = Cdse_obs.Obs
 
 (* prob *)
 module Bignat = Cdse_prob.Bignat

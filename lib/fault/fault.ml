@@ -1,6 +1,19 @@
 open Cdse_prob
 open Cdse_psioa
 open Cdse_sched
+module Obs = Cdse_obs.Obs
+
+(* Fault transitions evaluated, by kind. A transition fires when the
+   measure engine (or a simulation driver) evaluates it; under
+   [Psioa.memoize] a cached transition is not re-evaluated, so these count
+   distinct evaluations, not probability-weighted occurrences. *)
+let c_crash = Obs.counter "fault.crash"
+let c_recover = Obs.counter "fault.recover"
+let c_drop = Obs.counter "fault.drop"
+let c_dup = Obs.counter "fault.dup"
+let c_skip = Obs.counter "fault.skip"
+let c_injected = Obs.counter "fault.injected"
+let c_budget_halt = Obs.counter "fault.budget.halt"
 
 (* Wrapped states are tagged so fault wrappers nest and never collide with
    the wrapped automaton's own state space. *)
@@ -42,11 +55,15 @@ let crash_wrap ~suffix ~crash ~revive auto =
   let transition q a =
     match q with
     | Value.Tag (t, q0) when String.equal t live_tag ->
-        if Action.equal a crash then Some (Vdist.dirac (dead q0))
+        if Action.equal a crash then begin
+          Obs.incr c_crash;
+          Some (Vdist.dirac (dead q0))
+        end
         else Option.map (Vdist.map live) (Psioa.transition auto q0 a)
     | Value.Tag (t, q0) when String.equal t dead_tag -> (
         match revive with
         | Some (rec_act, reboot) when Action.equal a rec_act ->
+            Obs.incr c_recover;
             Some (Vdist.dirac (live (reboot q0)))
         | _ ->
             if Action_set.mem a (dead_inputs q0) then Some (Vdist.dirac q)
@@ -84,6 +101,13 @@ let channel_auto ~fault_suffix ~fault_enabled ~fault_step ?(cap = 8) ~name ~acts
   if n_acts = 0 then invalid_arg (name ^ ": empty interposed action set");
   let wires = Array.map (fun a -> wire ~channel:name a) acts in
   let fault = Action.make (name ^ fault_suffix) in
+  let c_fault =
+    match fault_suffix with
+    | ".drop" -> c_drop
+    | ".dup" -> c_dup
+    | ".skip" -> c_skip
+    | s -> Obs.counter ("fault" ^ s)
+  in
   let st buf = Value.tag "chan" (Value.list (List.map Value.int buf)) in
   let buf_of = function
     | Value.Tag ("chan", Value.List l) ->
@@ -118,8 +142,10 @@ let channel_auto ~fault_suffix ~fault_enabled ~fault_step ?(cap = 8) ~name ~acts
             match buf with
             | hd :: tl ->
                 if Action.equal a acts.(hd) then Some (Vdist.dirac (st tl))
-                else if Action.equal a fault && fault_enabled ~cap buf then
+                else if Action.equal a fault && fault_enabled ~cap buf then begin
+                  Obs.incr c_fault;
                   Some (Vdist.dirac (st (fault_step ~cap ~hd ~tl buf)))
+                end
                 else None
             | [] -> None))
   in
@@ -176,6 +202,7 @@ let injector ?(name = "fault-injector") ?(each = 1) ~faults () =
         let rec go i =
           if i >= n then None
           else if counts.(i) > 0 && Action.equal a faults.(i) then begin
+            Obs.incr c_injected;
             let counts' = Array.copy counts in
             counts'.(i) <- counts.(i) - 1;
             Some (Vdist.dirac (st counts'))
@@ -189,6 +216,50 @@ let injector ?(name = "fault-injector") ?(each = 1) ~faults () =
 
 (* ------------------------------------------------------------- budgets *)
 
+type kind = Crash | Recover | Drop | Dup | Skip
+
+let kind_name = function
+  | Crash -> "crash"
+  | Recover -> "recover"
+  | Drop -> "drop"
+  | Dup -> "dup"
+  | Skip -> "skip"
+
+(* Structural classification on the final dotted component of the action
+   name. Crash/recover actions carry an optional numeric instance index
+   ([n.crash], [n.crash3] — the committee names its crash inputs that way),
+   channel faults never do. The component must match exactly apart from
+   that index: [report.crash_count] (stem [crash_count]) and [x.recovery]
+   (stem [recovery]) are not faults, and neither is an undotted name like
+   [dropout]. *)
+let fault_kind a =
+  let n = Action.name a in
+  match String.rindex_opt n '.' with
+  | None -> None
+  | Some i ->
+      let last = String.sub n (i + 1) (String.length n - i - 1) in
+      let is_digit c = c >= '0' && c <= '9' in
+      let stem_with_index stem =
+        let ls = String.length stem and ll = String.length last in
+        ll >= ls
+        && String.equal (String.sub last 0 ls) stem
+        &&
+        let rec digits j = j >= ll || (is_digit last.[j] && digits (j + 1)) in
+        digits ls
+      in
+      if stem_with_index "crash" then Some Crash
+      else if stem_with_index "recover" then Some Recover
+      else if String.equal last "drop" then Some Drop
+      else if String.equal last "dup" then Some Dup
+      else if String.equal last "skip" then Some Skip
+      else None
+
+let default_is_fault a = fault_kind a <> None
+
+(* The pre-structural heuristic, kept reachable for callers that relied on
+   substring matching (e.g. fault actions buried mid-name by a later
+   renaming). Known to misclassify: [report.crash_count] counts as a
+   fault. *)
 let contains ~sub s =
   let ls = String.length s and lb = String.length sub in
   let rec go i = i + lb <= ls && (String.equal (String.sub s i lb) sub || go (i + 1)) in
@@ -198,7 +269,7 @@ let ends_with ~suffix s =
   let ls = String.length s and lx = String.length suffix in
   ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
 
-let default_is_fault a =
+let substring_is_fault a =
   let n = Action.name a in
   contains ~sub:".crash" n || contains ~sub:".recover" n
   || ends_with ~suffix:".drop" n || ends_with ~suffix:".dup" n
@@ -220,9 +291,19 @@ let budget_sched ?(is_fault = default_is_fault) k sched =
         else
           let kept = Dist.filter (fun a -> not (is_fault a)) d in
           if Dist.size kept = Dist.size d then d
+          else if Dist.size kept = 0 then begin
+            (* Every enabled action is a fault: there is no non-faulty
+               behaviour to condition on, so the budgeted scheduler halts
+               deliberately — the empty choice has deficit 1, and the
+               measure engine books the execution's whole remaining mass
+               as halting mass (not as truncation deficit). *)
+            Obs.incr c_budget_halt;
+            kept
+          end
           else
             (* Condition on the surviving support, preserving the original
-               halting probability: mass(kept') = mass(d) exactly. *)
+               halting probability: mass(kept') = mass(d) exactly (the
+               all-faults case above is the only one where mass drops). *)
             Dist.scale (Dist.mass d) (Dist.normalize kept)) }
 
 let budget ?is_fault k schema =

@@ -105,10 +105,30 @@ val injector : ?name:string -> ?each:int -> faults:Action.t list -> unit -> Psio
 
 (** {2 Budgets} *)
 
+type kind = Crash | Recover | Drop | Dup | Skip
+(** The library's fault-action kinds, as counted by the [fault.*]
+    observability counters ({!Cdse_obs.Obs}). *)
+
+val kind_name : kind -> string
+(** Lowercase name, as used in action suffixes and counter names. *)
+
+val fault_kind : Action.t -> kind option
+(** Structural classification of an action name by its final dotted
+    component: [crash]/[recover] with an optional trailing numeric
+    instance index ([n.crash], [n.crash3]), and the exact channel-fault
+    suffixes [drop]/[dup]/[skip]. Names like [report.crash_count],
+    [x.recovery] or [dropout] are {e not} faults. *)
+
 val default_is_fault : Action.t -> bool
-(** Recognizes the library's fault-action conventions: a name containing
-    [".crash"] or [".recover"], or ending in [".drop"], [".dup"] or
-    [".skip"]. *)
+(** [fault_kind a <> None] — the default fault predicate of
+    {!count_faults}, {!budget_sched} and {!budget}. *)
+
+val substring_is_fault : Action.t -> bool
+(** The pre-structural heuristic (a name {e containing} [".crash"] or
+    [".recover"], or ending in [".drop"]/[".dup"]/[".skip"]), kept for
+    callers whose fault actions end up mid-name after renaming. Beware:
+    it misclassifies ordinary actions such as [report.crash_count]; pass
+    it explicitly as [~is_fault] if you need it. *)
 
 val count_faults : ?is_fault:(Action.t -> bool) -> Exec.t -> int
 (** Number of fault actions along an execution fragment. *)
@@ -118,8 +138,12 @@ val budget_sched : ?is_fault:(Action.t -> bool) -> int -> Scheduler.t -> Schedul
     scheduled, then conditions every later choice on the non-fault
     support (renormalized to the choice's original mass, so halting
     probability is unchanged and liveness of the non-faulty protocol is
-    preserved). When a post-budget choice is {e all} faults, the
-    scheduler halts. *)
+    preserved). When a post-budget choice is {e all} faults there is no
+    non-faulty support to condition on: the scheduler halts deliberately
+    — the choice becomes empty with deficit 1 and the measure engine
+    books the execution's remaining mass as halting mass, keeping the
+    total measure proper. Each such halt increments the
+    [fault.budget.halt] counter. *)
 
 val budget : ?is_fault:(Action.t -> bool) -> int -> Schema.t -> Schema.t
 (** The schema transformer (Definition 3.2): every scheduler the schema

@@ -1,0 +1,183 @@
+(* Global, single-threaded instrument registry. Mutations branch on [on]
+   first so that disabled-mode cost is a load and a conditional per site;
+   instruments are registered once at module-init time by the code they
+   instrument, so the registry hashtables are cold after startup. *)
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* Counters *)
+
+type counter = { mutable c : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr c = if !on then c.c <- c.c + 1
+let add c k = if !on then c.c <- c.c + k
+let count c = c.c
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some c -> c.c | None -> 0
+
+(* Histograms: bucket 0 holds v <= 0, bucket i >= 1 holds 2^(i-1) <= v < 2^i.
+   63 buckets cover every positive int. *)
+
+type histogram = {
+  buckets : int array;
+  mutable h_n : int;
+  mutable h_total : int;
+  mutable h_hi : int;
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h = { buckets = Array.make 64 0; h_n = 0; h_total = 0; h_hi = 0 } in
+      Hashtbl.add histograms name h;
+      h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec go i v = if v = 0 then i else go (i + 1) (v lsr 1) in
+    go 0 v
+
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let observe h v =
+  if !on then begin
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.h_n <- h.h_n + 1;
+    h.h_total <- h.h_total + v;
+    if v > h.h_hi then h.h_hi <- v
+  end
+
+let hist_count h = h.h_n
+let hist_sum h = h.h_total
+let hist_max h = h.h_hi
+
+(* Gauges *)
+
+type gauge = { mutable g : string option }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 8
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g = None } in
+      Hashtbl.add gauges name g;
+      g
+
+let set_gauge g v = if !on then g.g <- Some v
+
+let gauge_value name =
+  match Hashtbl.find_opt gauges name with Some g -> g.g | None -> None
+
+(* Event sink *)
+
+type event = { name : string; detail : string }
+
+let sink : (event -> unit) option ref = ref None
+let set_sink s = sink := s
+
+let emit name detail =
+  if !on then
+    match !sink with
+    | None -> ()
+    | Some f -> f { name; detail = detail () }
+
+(* Snapshot / reset / report *)
+
+type histogram_stats = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * string) list;
+  s_histograms : (string * histogram_stats) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  let hist_stats h =
+    let bs = ref [] in
+    for i = Array.length h.buckets - 1 downto 0 do
+      if h.buckets.(i) > 0 then bs := (bucket_upper i, h.buckets.(i)) :: !bs
+    done;
+    { h_count = h.h_n; h_sum = h.h_total; h_max = h.h_hi; h_buckets = !bs }
+  in
+  {
+    s_counters = sorted_bindings counters (fun c -> c.c);
+    s_gauges =
+      sorted_bindings gauges (fun g -> g.g)
+      |> List.filter_map (fun (k, v) ->
+             match v with Some v -> Some (k, v) | None -> None);
+    s_histograms = sorted_bindings histograms hist_stats;
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g <- None) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
+      h.h_n <- 0;
+      h.h_total <- 0;
+      h.h_hi <- 0)
+    histograms
+
+let with_stats f =
+  let was = !on in
+  reset ();
+  on := true;
+  Fun.protect
+    ~finally:(fun () -> on := was)
+    (fun () ->
+      let r = f () in
+      (r, snapshot ()))
+
+let report fmt s =
+  let open Format in
+  fprintf fmt "@[<v>";
+  if s.s_counters <> [] then begin
+    fprintf fmt "counters:@,";
+    List.iter (fun (k, v) -> fprintf fmt "  %-32s %d@," k v) s.s_counters
+  end;
+  if s.s_gauges <> [] then begin
+    fprintf fmt "gauges:@,";
+    List.iter (fun (k, v) -> fprintf fmt "  %-32s %s@," k v) s.s_gauges
+  end;
+  if s.s_histograms <> [] then begin
+    fprintf fmt "histograms:@,";
+    List.iter
+      (fun (k, h) ->
+        fprintf fmt "  %-32s count=%d sum=%d max=%d@," k h.h_count h.h_sum
+          h.h_max;
+        List.iter
+          (fun (ub, n) -> fprintf fmt "    <= %-10d %d@," ub n)
+          h.h_buckets)
+      s.s_histograms
+  end;
+  fprintf fmt "@]"

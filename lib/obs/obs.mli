@@ -1,0 +1,124 @@
+(** Zero-dependency observability: counters, histograms, gauges and an
+    optional event sink for the measure engine and its supporting layers.
+
+    The library is compiled in unconditionally but designed to be free when
+    disabled: every mutation is guarded by a single [if enabled ()] branch on
+    an immutable-after-startup [bool ref], and event payloads are thunks that
+    are never forced while disabled. Instrumented modules register their
+    instruments once at module initialisation, so steady-state cost with
+    stats off is one load + branch per instrumentation site.
+
+    All state is global to the process and NOT thread-safe; the engine is
+    single-threaded and so are the instruments. Instrument names are
+    dot-separated lowercase paths ([measure.frontier.width]) and registration
+    is idempotent: asking for an existing name returns the same instrument.
+
+    Depends on nothing but the stdlib — [Rat] itself is instrumented with
+    this module, so exact rationals cross the boundary as strings (see
+    {!gauge}). *)
+
+(** {1 Master switch} *)
+
+val enabled : unit -> bool
+(** Stats collection switch; [false] at startup. *)
+
+val set_enabled : bool -> unit
+
+(** {1 Counters}
+
+    Monotonic non-negative integer counters. *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] registers (or retrieves) the counter called [name]. *)
+
+val incr : counter -> unit
+(** Add 1 when enabled; no-op otherwise. *)
+
+val add : counter -> int -> unit
+(** Add [k >= 0] when enabled; no-op otherwise. *)
+
+val count : counter -> int
+(** Current value (readable even while disabled). *)
+
+val counter_value : string -> int
+(** Value of a counter by name; 0 if it was never registered. *)
+
+(** {1 Histograms}
+
+    Power-of-two histograms for small integer magnitudes (frontier widths,
+    layer sizes). Bucket [0] holds observations [<= 0]; bucket [i >= 1]
+    holds observations in [[2^(i-1), 2^i - 1]]. *)
+
+type histogram
+
+val histogram : string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one observation when enabled; no-op otherwise. *)
+
+val hist_count : histogram -> int
+(** Number of observations. *)
+
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+(** {1 Gauges}
+
+    Last-write-wins text gauges. Used for values that are not integers —
+    in particular exact rationals, recorded via [Rat.to_string] so that
+    readers can reparse them losslessly with [Rat.of_string]. *)
+
+type gauge
+
+val gauge : string -> gauge
+
+val set_gauge : gauge -> string -> unit
+(** Record the value when enabled; no-op otherwise. *)
+
+val gauge_value : string -> string option
+(** Last recorded value of a gauge by name; [None] if never set. *)
+
+(** {1 Event sink}
+
+    A single optional structured-event subscriber, for ad-hoc tracing. The
+    payload thunk is forced only when stats are enabled AND a sink is
+    installed, so tracing call sites stay free in production. *)
+
+type event = { name : string; detail : string }
+
+val set_sink : (event -> unit) option -> unit
+
+val emit : string -> (unit -> string) -> unit
+(** [emit name detail] delivers [{ name; detail = detail () }] to the sink,
+    if enabled and installed. *)
+
+(** {1 Snapshot / reset / report} *)
+
+type histogram_stats = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_buckets : (int * int) list;  (** (bucket upper bound, count), non-empty buckets only *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;      (** sorted by name *)
+  s_gauges : (string * string) list;     (** sorted by name; set gauges only *)
+  s_histograms : (string * histogram_stats) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (the enabled flag and sink are kept). *)
+
+val with_stats : (unit -> 'a) -> 'a * snapshot
+(** [with_stats f] resets all instruments, runs [f] with stats enabled, and
+    returns [f ()]'s result together with the resulting snapshot; the
+    previous enabled state is restored afterwards (instrument values are
+    left as [f] produced them, not restored). *)
+
+val report : Format.formatter -> snapshot -> unit
+(** Human-readable multi-line rendering, stable order. *)

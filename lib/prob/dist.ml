@@ -233,16 +233,39 @@ let corresponds ~f a b =
   let image = map ~compare:b.cmp f a in
   size image = size a && equal image b
 
-let sample rng d =
-  let target = Rat.of_ints (Rng.int rng 1_000_003) 1_000_003 in
+(* Exact inverse-CDF draw by lazy binary expansion. Conceptually a uniform
+   U ∈ [0,1) selects the band of the exact cumulative masses it falls in:
+   [cum i, cum (i+1)) ↦ elts.(i), and the residual band [mass, 1) ↦ None
+   (the deficit). U is revealed one bit at a time — after k bits it is
+   known to lie in a dyadic interval [a, a + 2^-k) — and the draw resolves
+   as soon as that interval fits inside a single band, so P(elts.(i)) is
+   probs.(i) {e exactly} (no grid, no floats) and the expected number of
+   bits consumed is finite (≤ 2 beyond the band boundaries' resolution). *)
+let sample_bits bit d =
   let n = Array.length d.elts in
-  let rec go acc i =
-    if i >= n then None
-    else
-      let acc = Rat.add acc d.probs.(i) in
-      if Rat.compare target acc < 0 then Some d.elts.(i) else go acc (i + 1)
-  in
-  go Rat.zero 0
+  if n = 0 then None
+  else begin
+    let cum = Array.make (n + 1) Rat.zero in
+    for i = 0 to n - 1 do
+      cum.(i + 1) <- Rat.add cum.(i) d.probs.(i)
+    done;
+    (* Band i < n is [cum i, cum (i+1)); band n is the deficit [cum n, 1). *)
+    let upper i = if i < n then cum.(i + 1) else Rat.one in
+    let rec refine a w i =
+      (* Invariant: U ∈ [a, a + w), and a >= the lower bound of band i. *)
+      let i = ref i in
+      while !i < n && Rat.compare (upper !i) a <= 0 do incr i done;
+      let i = !i in
+      if Rat.compare (Rat.add a w) (upper i) <= 0 then
+        if i < n then Some d.elts.(i) else None
+      else
+        let w = Rat.mul w Rat.half in
+        refine (if bit () then Rat.add a w else a) w i
+    in
+    refine Rat.zero Rat.one 0
+  end
+
+let sample rng d = sample_bits (fun () -> Rng.bool rng) d
 
 let pp pp_elt fmt d =
   Format.fprintf fmt "@[<hov 1>{";

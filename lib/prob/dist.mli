@@ -99,7 +99,18 @@ val corresponds : f:('a -> 'b) -> 'a t -> 'b t -> bool
 
 val sample : Rng.t -> 'a t -> 'a option
 (** Draw from the (sub-)distribution; [None] with the deficit probability.
-    Used only by simulation drivers and benchmarks, never by the exact
-    measure computations. *)
+    The draw is {e exact}: each element is returned with exactly its
+    rational probability (and [None] with exactly the deficit), by lazy
+    binary expansion of a uniform real against the exact cumulative
+    masses — no floating point and no fixed sampling grid, so events of
+    arbitrarily small probability are correctly weighted. Consumes a
+    finite expected number of random bits. Used only by simulation
+    drivers and benchmarks, never by the exact measure computations. *)
+
+val sample_bits : (unit -> bool) -> 'a t -> 'a option
+(** [sample] against an explicit fair-bit source: [bit ()] must return
+    independent fair coin flips; successive calls reveal the binary
+    expansion of the uniform draw most-significant bit first. Exposed so
+    tests can drive the draw deterministically. *)
 
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -16,6 +16,13 @@ type t =
       (* numerator (signed, > min_int), denominator > 0, gcd(|num|, den) = 1 *)
   | B of { sg : int; n : Bignat.t; d : Bignat.t }
 
+module Obs = Cdse_obs.Obs
+
+(* Counted each time a small/small operation overflows the int fast path and
+   has to redo its work in Bignat limbs. Operations whose arguments are
+   already [B] are not promotions — the value was big before the call. *)
+let c_promotions = Obs.counter "rat.promotions"
+
 let zero = S (0, 1)
 let one = S (1, 1)
 let minus_one = S (-1, 1)
@@ -121,13 +128,17 @@ let add a b =
   match (a, b) with
   | S (0, _), x | x, S (0, _) -> x
   | S (na, da), S (nb, db) -> (
+      let promote () =
+        Obs.incr c_promotions;
+        slow_add a b
+      in
       if da = db then
-        match add_ovf na nb with Some n -> small n da | None -> slow_add a b
+        match add_ovf na nb with Some n -> small n da | None -> promote ()
       else
         match (mul_ovf na db, mul_ovf nb da, mul_ovf da db) with
         | Some x, Some y, Some d -> (
-            match add_ovf x y with Some n -> small n d | None -> slow_add a b)
-        | _ -> slow_add a b)
+            match add_ovf x y with Some n -> small n d | None -> promote ())
+        | _ -> promote ())
   | _ -> slow_add a b
 
 let sub a b = add a (neg b)
@@ -150,7 +161,9 @@ let mul a b =
       let nb = nb / g2 and da = da / g2 in
       match (mul_ovf na nb, mul_ovf da db) with
       | Some n, Some d -> small_coprime n d
-      | _ -> slow_mul (S (na, da)) (S (nb, db)))
+      | _ ->
+          Obs.incr c_promotions;
+          slow_mul (S (na, da)) (S (nb, db)))
   | _ -> slow_mul a b
 
 let inv a =
@@ -177,7 +190,9 @@ let compare a b =
       else
         match (mul_ovf na db, mul_ovf nb da) with
         | Some x, Some y -> Int.compare x y
-        | _ -> slow_compare a b)
+        | _ ->
+            Obs.incr c_promotions;
+            slow_compare a b)
   | _ -> slow_compare a b
 
 let equal a b =

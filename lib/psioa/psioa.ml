@@ -1,4 +1,5 @@
 open Cdse_prob
+module Obs = Cdse_obs.Obs
 
 type t = {
   name : string;
@@ -42,13 +43,21 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
+let c_sig_hit = Obs.counter "psioa.memo.sig.hit"
+let c_sig_miss = Obs.counter "psioa.memo.sig.miss"
+let c_step_hit = Obs.counter "psioa.memo.step.hit"
+let c_step_miss = Obs.counter "psioa.memo.step.miss"
+
 let memoize a =
   let sig_cache = Vtbl.create 64 in
   let tr_cache = Hashtbl.create 64 in
   let signature q =
     match Vtbl.find_opt sig_cache q with
-    | Some s -> s
+    | Some s ->
+        Obs.incr c_sig_hit;
+        s
     | None ->
+        Obs.incr c_sig_miss;
         let s = a.signature q in
         Vtbl.add sig_cache q s;
         s
@@ -56,8 +65,11 @@ let memoize a =
   let transition q act =
     let key = (q, act) in
     match Hashtbl.find_opt tr_cache key with
-    | Some d -> d
+    | Some d ->
+        Obs.incr c_step_hit;
+        d
     | None ->
+        Obs.incr c_step_miss;
         let d = a.transition q act in
         Hashtbl.add tr_cache key d;
         d

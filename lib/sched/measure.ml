@@ -1,7 +1,20 @@
 open Cdse_prob
 open Cdse_psioa
+module Obs = Cdse_obs.Obs
 
 type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
+
+(* Instruments for the budgeted expansion below. The frontier-width
+   histogram is fed once per layer; [measure.truncation_deficit] mirrors the
+   [`Truncated] deficit exactly ([Rat.to_string], reparsable with
+   [Rat.of_string]) and reads "0" after an [`Exact] run. *)
+let h_width = Obs.histogram "measure.frontier.width"
+let c_layers = Obs.counter "measure.layers"
+let c_finished = Obs.counter "measure.finished"
+let c_truncated = Obs.counter "measure.truncated"
+let c_choice_hit = Obs.counter "measure.choice.hit"
+let c_choice_miss = Obs.counter "measure.choice.miss"
+let g_deficit = Obs.gauge "measure.truncation_deficit"
 
 (* Iteratively expand the cone frontier. [alive] holds executions the
    scheduler may still extend, [finished] the accumulated halting mass.
@@ -28,6 +41,7 @@ let truncate_entries ~keep entries =
     (fun i ((_, p) as entry) ->
       if i < keep then kept := entry :: !kept else lost := Rat.add !lost p)
     arr;
+  Obs.add c_truncated (Stdlib.max 0 (Array.length arr - keep));
   (List.rev !kept, !lost)
 
 let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width auto sched ~depth =
@@ -41,8 +55,11 @@ let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width auto sched ~depth =
       fun e ->
         let key = (Exec.length e, Exec.lstate e) in
         match Hashtbl.find_opt tbl key with
-        | Some d -> d
+        | Some d ->
+            Obs.incr c_choice_hit;
+            d
         | None ->
+            Obs.incr c_choice_miss;
             let d = Scheduler.validate_choice auto sched e in
             Hashtbl.add tbl key d;
             d
@@ -50,12 +67,17 @@ let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width auto sched ~depth =
     else fun e -> Scheduler.validate_choice auto sched e
   in
   let finish alive finished lost =
+    if Obs.enabled () then Obs.set_gauge g_deficit (Rat.to_string lost);
     let d = Dist.make ~compare:Exec.compare (List.rev_append finished alive) in
     if Rat.is_zero lost then `Exact d else `Truncated (d, lost)
   in
   let rec go step alive n_finished finished lost =
     if step = depth || alive = [] then finish alive finished lost
     else begin
+      if Obs.enabled () then begin
+        Obs.incr c_layers;
+        Obs.observe h_width (List.length alive)
+      end;
       let alive' = ref [] and finished' = ref finished and n_finished' = ref n_finished in
       List.iter
         (fun (e, p) ->
@@ -63,6 +85,7 @@ let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width auto sched ~depth =
           if not (Dist.is_proper choice) then begin
             let halt_mass = Rat.mul p (Dist.deficit choice) in
             if not (Rat.is_zero halt_mass) then begin
+              Obs.incr c_finished;
               finished' := (e, halt_mass) :: !finished';
               incr n_finished'
             end

@@ -1,5 +1,8 @@
 open Cdse_prob
 open Cdse_psioa
+module Obs = Cdse_obs.Obs
+
+let c_validations = Obs.counter "sched.validations"
 
 type t = {
   name : string;
@@ -90,6 +93,7 @@ let is_bounded s = Scanf.sscanf_opt s.name "bounded[%d]" (fun b -> b)
 let validate_choice a s e =
   let d = s.choose e in
   if (not s.validated) && Dist.size d > 0 then begin
+    Obs.incr c_validations;
     let sg = Psioa.signature a (Exec.lstate e) in
     Dist.iter
       (fun act _ ->

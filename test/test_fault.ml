@@ -137,6 +137,53 @@ let test_default_is_fault () =
       ("net.dup", true); ("net.skip", true); ("n.vote1", false); ("dropout", false);
       ("skipper.go", false) ]
 
+let test_is_fault_structural () =
+  (* Regressions against the old substring heuristic: ordinary actions
+     whose names merely contain a fault stem must not be budgeted. *)
+  List.iter
+    (fun (name, expect) ->
+      Alcotest.(check bool) name expect (Fault.default_is_fault (act name)))
+    [ ("report.crash_count", false); ("x.recovery", false); ("a.crash.b", false);
+      ("backdrop", false); ("sys.drop2", false); ("n.recover7", true);
+      ("deep.ns.crash12", true) ];
+  (* The old behaviour stays reachable for callers that depend on it. *)
+  Alcotest.(check bool) "substring heuristic still flags crash_count" true
+    (Fault.substring_is_fault (act "report.crash_count"));
+  Alcotest.(check bool) "substring heuristic usable as ~is_fault"
+    true
+    (let e =
+       Exec.extend (Exec.init (Value.int 0)) (act "report.crash_count") (Value.int 1)
+     in
+     Fault.count_faults ~is_fault:Fault.substring_is_fault e = 1
+     && Fault.count_faults e = 0);
+  (* Kinds classify as named. *)
+  List.iter
+    (fun (name, kind) ->
+      Alcotest.(check (option string)) name kind
+        (Option.map Fault.kind_name (Fault.fault_kind (act name))))
+    [ ("n.crash0", Some "crash"); ("n.recover", Some "recover"); ("net.drop", Some "drop");
+      ("net.dup", Some "dup"); ("net.skip", Some "skip"); ("net.dup3", None);
+      ("crash", None) ]
+
+let test_budget_all_faults_halts () =
+  (* When every enabled action past the budget is a fault, the budgeted
+     scheduler halts deliberately: the post-budget choice is empty
+     (deficit 1), and the measure engine books the remaining mass as
+     halting mass — the execution measure stays proper, with all mass on
+     executions carrying at most k faults. *)
+  let inj = Fault.injector ~faults:[ act "v.crash0" ] ~each:3 () in
+  let sched = Fault.budget_sched 1 (Scheduler.bounded 6 (Scheduler.uniform inj)) in
+  let e0 = Exec.init (Psioa.start inj) in
+  let q1 = step1 inj (Psioa.start inj) (act "v.crash0") in
+  let e1 = Exec.extend e0 (act "v.crash0") q1 in
+  let d1 = sched.Scheduler.choose e1 in
+  Alcotest.(check int) "post-budget all-faults choice is empty" 0 (Dist.size d1);
+  Alcotest.check rat "empty choice has deficit 1" Rat.one (Dist.deficit d1);
+  let m = Measure.exec_dist inj sched ~depth:6 in
+  Alcotest.check rat "measure stays proper" Rat.one (Dist.mass m);
+  Alcotest.(check bool) "every execution spends at most the budget" true
+    (List.for_all (fun (e, _) -> Fault.count_faults e <= 1) (Dist.items m))
+
 let test_budget_sched_filters_after_k () =
   let inj = Fault.injector ~faults:[ act "v.crash0" ] ~each:2 () in
   let sys = Compose.pair inj (Fixtures.counter ~bound:3 "k") in
@@ -228,8 +275,12 @@ let () =
       ( "injector-budget",
         [ Alcotest.test_case "injector spends faults" `Quick test_injector_spends_faults;
           Alcotest.test_case "default_is_fault conventions" `Quick test_default_is_fault;
+          Alcotest.test_case "structural classification regressions" `Quick
+            test_is_fault_structural;
           Alcotest.test_case "budget filters and renormalizes" `Quick
-            test_budget_sched_filters_after_k ] );
+            test_budget_sched_filters_after_k;
+          Alcotest.test_case "all-faults choice halts deliberately" `Quick
+            test_budget_all_faults_halts ] );
       ( "properties",
         [ qtest prop_crash_stop_valid;
           qtest prop_crash_stop_signature_compatible;

@@ -446,6 +446,131 @@ let test_dist_sample_support () =
     | None -> Alcotest.fail "proper dist halted"
   done
 
+(* Exactness of the inverse-CDF draw: enumerate the complete fair-bit tree
+   to depth 30, driving [sample_bits] with every prefix. A node whose bits
+   run out before the draw resolves splits into its two children; a
+   resolved node contributes its dyadic interval's width 2^-|prefix| to
+   its outcome. The mass resolved to outcome 1 must bracket 1/3 to within
+   the unresolved remainder (≤ 2^-30 ≈ 9.3e-10) — three orders of
+   magnitude below the old sampler's fixed 1/1_000_003 grid spacing, which
+   could only realize probabilities that are multiples of the grid. *)
+let test_sample_exact_bernoulli_third () =
+  let d = d_of [ (1, 1, 3); (2, 2, 3) ] in
+  let depth = 30 in
+  let p1 = ref Rat.zero and p2 = ref Rat.zero and unresolved = ref Rat.zero in
+  let exception Out_of_bits in
+  let rec go prefix w =
+    let rest = ref prefix in
+    let bit () =
+      match !rest with
+      | b :: tl ->
+          rest := tl;
+          b
+      | [] -> raise Out_of_bits
+    in
+    match Dist.sample_bits bit d with
+    | Some 1 -> p1 := Rat.add !p1 w
+    | Some 2 -> p2 := Rat.add !p2 w
+    | Some _ | None -> Alcotest.fail "sampler left the support"
+    | exception Out_of_bits ->
+        if List.length prefix = depth then unresolved := Rat.add !unresolved w
+        else begin
+          let w' = Rat.mul w Rat.half in
+          go (prefix @ [ false ]) w';
+          go (prefix @ [ true ]) w'
+        end
+  in
+  go [] Rat.one;
+  let third = Rat.of_ints 1 3 and two_thirds = Rat.of_ints 2 3 in
+  let tol = Rat.pow Rat.half depth in
+  Alcotest.(check bool) "accounts all mass" true
+    (Rat.equal Rat.one (Rat.add !p1 (Rat.add !p2 !unresolved)));
+  Alcotest.(check bool) "unresolved ≤ 2^-30" true (Rat.compare !unresolved tol <= 0);
+  Alcotest.(check bool) "p(1) ≤ 1/3" true (Rat.compare !p1 third <= 0);
+  Alcotest.(check bool) "1/3 ≤ p(1) + unresolved" true
+    (Rat.compare third (Rat.add !p1 !unresolved) <= 0);
+  Alcotest.(check bool) "p(2) ≤ 2/3" true (Rat.compare !p2 two_thirds <= 0);
+  Alcotest.(check bool) "2/3 ≤ p(2) + unresolved" true
+    (Rat.compare two_thirds (Rat.add !p2 !unresolved) <= 0)
+
+(* Regression against the fixed-grid sampler. An event of probability
+   2^-60 sits far below the old 1/1_000_003 grid; the old implementation
+   selected it whenever [Rng.int rng 1_000_003] drew 0 — about 2^40 times
+   too often — and each seed below makes that happen on the very first
+   draw, so the old sampler deterministically returned [Some 0] where an
+   exact draw almost surely returns [Some 1]. *)
+let test_sample_subgrid_exact () =
+  let tiny = Rat.pow Rat.half 60 in
+  let d = Dist.make ~compare:icmp [ (0, tiny); (1, Rat.sub Rat.one tiny) ] in
+  List.iter
+    (fun seed ->
+      let r = Rng.make seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d draws the heavy outcome" seed)
+        true
+        (Dist.sample r d = Some 1))
+    [ 334872; 1572239; 4876451 ];
+  (* The tiny outcome stays reachable with exactly its mass: the all-zeros
+     bit path pins the draw into [0, 2^-60) after exactly 60 bits. *)
+  let zeros = ref 0 in
+  let bit () =
+    incr zeros;
+    false
+  in
+  Alcotest.(check bool) "60 zero bits reach the 2^-60 event" true
+    (Dist.sample_bits bit d = Some 0);
+  Alcotest.(check int) "after exactly 60 bits" 60 !zeros
+
+let test_sample_bits_deficit () =
+  (* Sub-distribution {1 ↦ 1/2}: the halting band [1/2, 1) gets exactly
+     the deficit. One bit decides. *)
+  let d = d_of [ (1, 1, 2) ] in
+  let src l =
+    let r = ref l in
+    fun () ->
+      match !r with
+      | b :: tl ->
+          r := tl;
+          b
+      | [] -> Alcotest.fail "sampler demanded more bits than provided"
+  in
+  Alcotest.(check bool) "upper half halts" true (Dist.sample_bits (src [ true ]) d = None);
+  Alcotest.(check bool) "lower half draws" true (Dist.sample_bits (src [ false ]) d = Some 1)
+
+let prop_sample_chi_square =
+  QCheck.Test.make ~count:20 ~name:"dist: sample frequencies pass chi-square" small_dist_arb
+    (fun d ->
+      let n = 2000 in
+      let seed = Hashtbl.hash (Format.asprintf "%a" (Dist.pp Format.pp_print_int) d) in
+      let r = Rng.make seed in
+      let tbl = Hashtbl.create 8 in
+      for _ = 1 to n do
+        let k = Dist.sample r d in
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      done;
+      (* χ² over the support cells plus the halting cell; with at most 5
+         degrees of freedom, 35 is beyond the 99.999th percentile, so a
+         failure indicates real bias rather than sampling noise. *)
+      let cells =
+        (None, Dist.deficit d) :: List.map (fun (x, p) -> (Some x, p)) (Dist.items d)
+      in
+      let ok_zero_cells =
+        List.for_all
+          (fun (k, p) -> not (Rat.is_zero p) || not (Hashtbl.mem tbl k))
+          cells
+      in
+      let chi2 =
+        List.fold_left
+          (fun acc (k, p) ->
+            if Rat.is_zero p then acc
+            else
+              let e = float_of_int n *. Rat.to_float p in
+              let o = float_of_int (Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+              acc +. (((o -. e) ** 2.0) /. e))
+          0.0 cells
+      in
+      ok_zero_cells && chi2 < 35.0)
+
 (* ----------------------------------------------------------------- Fprob *)
 
 let test_fprob_agrees_with_exact () =
@@ -506,6 +631,11 @@ let () =
           Alcotest.test_case "large support (100k)" `Quick test_dist_large_support;
           Alcotest.test_case "corresponds (Def 2.15)" `Quick test_dist_corresponds;
           Alcotest.test_case "sample stays in support" `Quick test_dist_sample_support;
+          Alcotest.test_case "sample_bits exact (Bernoulli 1/3)" `Quick
+            test_sample_exact_bernoulli_third;
+          Alcotest.test_case "sample sub-grid event exactness" `Quick test_sample_subgrid_exact;
+          Alcotest.test_case "sample_bits deficit band" `Quick test_sample_bits_deficit;
+          qtest prop_sample_chi_square;
           qtest prop_dist_map_mass;
           qtest prop_dist_bind_mass;
           qtest prop_dist_product_mass;
