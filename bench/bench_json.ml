@@ -31,6 +31,13 @@ let macro_baseline =
 
 let depths = [ 3; 4; 5; 6 ]
 
+(* Parallel-scaling cells (schema cdse-bench/3): E7's widest uniform
+   random-walk workloads, the exact cone expanded with 1, 2 and 4 domains.
+   Times are wall-clock — the speedups reflect the recording host's core
+   count, the distributions are bit-identical by contract either way. *)
+let par_workloads = [ ("walk_b2", 2, 8); ("walk_b3", 3, 6) ]
+let par_domains = [ 1; 2; 4 ]
+
 (* ----------------------------------------------------------- counters *)
 
 (* Numeric counter keys of the per-cell "counters" block, in emission
@@ -110,6 +117,24 @@ let measure_macro () =
           depths ))
     workloads
 
+let measure_par () =
+  List.map
+    (fun (name, branching, depth) ->
+      let rng = Rng.make (branching * 1000) in
+      let auto =
+        Cdse_gen.Random_auto.make ~rng ~name:"walk" ~n_states:8 ~n_actions:branching
+          ~branching ()
+      in
+      let sched = Scheduler.uniform auto in
+      let times =
+        List.map
+          (fun domains ->
+            (domains, wall (fun () -> Measure.exec_dist ~memo:true ~domains auto sched ~depth)))
+          par_domains
+      in
+      (name, depth, times))
+    par_workloads
+
 let entry ?(digits = 1) ?(extra = "") baseline current =
   match baseline with
   | Some b ->
@@ -121,12 +146,14 @@ let entry ?(digits = 1) ?(extra = "") baseline current =
 
 let emit micro_rows =
   let macro = measure_macro () in
+  let par = measure_par () in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cdse-bench/2\",\n";
+  add "  \"schema\": \"cdse-bench/3\",\n";
   add "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
-  add "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\"},\n";
+  add
+    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\"},\n";
   add "  \"micro\": {\n";
   List.iteri
     (fun i (name, current) ->
@@ -149,13 +176,28 @@ let emit micro_rows =
         rows;
       add "    }%s\n" (if i < List.length macro - 1 then "," else ""))
     macro;
+  add "  },\n";
+  add "  \"exec_dist_domains\": {\n";
+  List.iteri
+    (fun i (name, depth, times) ->
+      let ms_of d = List.assoc d times in
+      let t1 = ms_of 1 in
+      add "    \"%s\": {\"depth\": %d, \"ms\": {%s}, \"speedup_2\": %.2f, \"speedup_4\": %.2f}%s\n"
+        name depth
+        (String.concat ", "
+           (List.map (fun (d, t) -> Printf.sprintf "\"%d\": %.4f" d t) times))
+        (t1 /. Float.max 1e-9 (ms_of 2))
+        (t1 /. Float.max 1e-9 (ms_of 4))
+        (if i < List.length par - 1 then "," else ""))
+    par;
   add "  }\n";
   add "}\n";
   let oc = open_out "BENCH_cdse.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6)\n%!"
-    (List.length micro_rows) (List.length macro)
+  Printf.printf
+    "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6, %d domain-scaling cells)\n%!"
+    (List.length micro_rows) (List.length macro) (List.length par)
 
 (* ----------------------------------------------------- stable-key check *)
 
@@ -295,8 +337,8 @@ let check ?(path = "BENCH_cdse.json") () =
     | _ -> fail "top level is not an object"
   in
   (match List.assoc_opt "schema" fields with
-  | Some (Jstr "cdse-bench/2") -> ()
-  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/2\"" other
+  | Some (Jstr "cdse-bench/3") -> ()
+  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/3\"" other
   | _ -> fail "missing string key \"schema\"");
   List.iter
     (fun k -> if not (List.mem_assoc k fields) then fail "missing key %S" k)
@@ -372,6 +414,37 @@ let check ?(path = "BENCH_cdse.json") () =
             base
       | _ -> fail "exec_dist: stable workload %S missing" name)
     macro_baseline;
+  (* Schema 3: per-domain wall-clock cells. Each workload carries its
+     depth, a "ms" object with one number per recorded domain count, and
+     the derived 2-/4-domain speedups. *)
+  let domains_block = objf "exec_dist_domains" in
+  List.iter
+    (fun (name, _, _) ->
+      let ctx = "exec_dist_domains." ^ name in
+      match List.assoc_opt name domains_block with
+      | Some (Jobj cell) ->
+          (match List.assoc_opt "depth" cell with
+          | Some (Jnum _) -> ()
+          | _ -> fail "%s: missing numeric field \"depth\"" ctx);
+          (match List.assoc_opt "ms" cell with
+          | Some (Jobj ms) ->
+              List.iter
+                (fun d ->
+                  match List.assoc_opt (string_of_int d) ms with
+                  | Some (Jnum t) when t > 0.0 -> ()
+                  | Some (Jnum _) -> fail "%s: ms[%d] is not positive" ctx d
+                  | _ -> fail "%s: ms missing domain count %d" ctx d)
+                par_domains
+          | _ -> fail "%s: missing object field \"ms\"" ctx);
+          List.iter
+            (fun k ->
+              match List.assoc_opt k cell with
+              | Some (Jnum _) -> ()
+              | _ -> fail "%s: missing numeric field %S" ctx k)
+            [ "speedup_2"; "speedup_4" ]
+      | _ -> fail "exec_dist_domains: stable workload %S missing" name)
+    par_workloads;
   Printf.printf
-    "check-json: %s OK (schema cdse-bench/2, %d micro keys, %d workloads x %d depths, counters validated)\n"
+    "check-json: %s OK (schema cdse-bench/3, %d micro keys, %d workloads x %d depths, %d domain-scaling cells, counters validated)\n"
     path (List.length micro_baseline) (List.length macro_baseline) (List.length depths)
+    (List.length par_workloads)

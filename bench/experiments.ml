@@ -711,6 +711,49 @@ let e17 () =
     "claim: a 2-of-3 quorum commits surely under any single crash (exact P = 1);\n\
      unanimity already loses liveness at crash budget 1: %s\n" (verdict ok)
 
+(* ----------------------------------------------------------------- par *)
+(* Multicore engine smoke: E7's widest workloads expanded sequentially and
+   with --domains (default 2) domains. The check is conformance — the
+   parallel distribution must be Dist.equal to the sequential one — not
+   speedup, which depends on the host's core count (wall-clock is printed
+   so the recording host's scaling is visible). *)
+
+let par () =
+  let domains = !Workbench.domains in
+  Pretty.section
+    (Printf.sprintf "PAR  multicore exact measure: %d domains, conformance + wall-clock"
+       domains);
+  let ok = ref true in
+  let rows =
+    List.map
+      (fun (branching, depth) ->
+        let rng = Rng.make (branching * 1000) in
+        let auto =
+          Cdse_gen.Random_auto.make ~rng ~name:"walk" ~n_states:8 ~n_actions:branching
+            ~branching ()
+        in
+        let sched = Scheduler.uniform auto in
+        let seq, t1 = wall_it (fun () -> Measure.exec_dist ~memo:true auto sched ~depth) in
+        let par_d, tn =
+          wall_it (fun () -> Measure.exec_dist ~memo:true ~domains auto sched ~depth)
+        in
+        ok := !ok && Dist.equal seq par_d;
+        [ cell branching; cell depth; cell (Dist.size seq); ms t1; ms tn;
+          Printf.sprintf "%.2f" (t1 /. Float.max 1e-9 tn);
+          (if Dist.equal seq par_d then "yes" else "NO") ])
+      [ (2, 8); (3, 6) ]
+  in
+  Pretty.table
+    ~header:
+      [ "branching"; "depth"; "#execs"; "seq(ms)";
+        Printf.sprintf "%dd(ms)" domains; "speedup"; "identical" ]
+    rows;
+  let ok = record_check ~experiment:"PAR" !ok in
+  Printf.printf
+    "claim: frontier sharding returns the bit-identical measure on every domain count\n\
+     (speedup tracks the host's cores; determinism does not): %s\n" (verdict ok)
+
 let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
             ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-            ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("A3", a3) ]
+            ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("A3", a3);
+            ("par", par) ]

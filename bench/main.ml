@@ -4,6 +4,8 @@
      dune exec bench/main.exe -- E3 E6      — run selected experiments
      dune exec bench/main.exe -- micro      — micro-benchmarks only
      dune exec bench/main.exe -- check-json — validate BENCH_cdse.json keys
+     dune exec bench/main.exe -- par --domains 4
+                                            — multicore conformance smoke
 
    Add --stats to any run to collect engine observability counters
    (lib/obs) and print a report at the end. Note that regenerating
@@ -18,6 +20,15 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let stats = List.mem "--stats" args in
   let args = List.filter (fun a -> not (String.equal a "--stats")) args in
+  (* --domains N: domain count for the "par" experiment (default 2). *)
+  let rec extract_domains acc = function
+    | "--domains" :: n :: rest ->
+        Workbench.domains := max 1 (int_of_string n);
+        List.rev_append acc rest
+    | a :: rest -> extract_domains (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_domains [] args in
   if List.mem "check-json" args then Bench_json.check ()
   else begin
     let run_micro = args = [] || List.mem "micro" args in

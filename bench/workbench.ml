@@ -5,6 +5,18 @@ let time_it f =
   let v = f () in
   (v, Sys.time () -. t0)
 
+(* Wall-clock variant: [Sys.time] sums CPU time over every domain, which
+   makes a parallel run look no faster than sequential — multicore
+   experiments must time the clock on the wall. *)
+let wall_it f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Domain count for the multicore smoke experiment ("par"); set by
+   bench/main.ml's --domains flag. *)
+let domains = ref 2
+
 let ms t = Printf.sprintf "%.2f" (t *. 1000.)
 
 let verdict ok = if ok then "PASS" else "FAIL"

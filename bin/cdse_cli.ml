@@ -79,6 +79,12 @@ let depth_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Expand the cone across $(docv) OCaml domains (bit-identical results)")
+
 let measure_cmd =
   let workload =
     Arg.(
@@ -92,7 +98,7 @@ let measure_cmd =
       & opt (enum [ ("first", `First); ("uniform", `Uniform); ("round-robin", `Rr) ]) `Uniform
       & info [ "sched" ] ~docv:"S" ~doc:"Scheduler: first, uniform or round-robin")
   in
-  let run workload sched_kind depth seed stats =
+  let run workload sched_kind depth seed domains stats =
     let auto =
       match workload with
       | `Coin -> Cdse_gen.Workloads.coin "coin"
@@ -110,7 +116,7 @@ let measure_cmd =
     in
     let d =
       run_with_stats stats (fun () ->
-          Measure.exec_dist auto (Scheduler.bounded depth sched) ~depth)
+          Measure.exec_dist ~domains auto (Scheduler.bounded depth sched) ~depth)
     in
     Format.printf "%d completed executions, total mass %s@." (Dist.size d)
       (Rat.to_string (Dist.mass d));
@@ -123,7 +129,7 @@ let measure_cmd =
   in
   Cmd.v
     (Cmd.info "measure" ~doc:"Exact execution measure of a workload under a scheduler")
-    Term.(const run $ workload $ sched_kind $ depth_arg $ seed_arg $ stats_arg)
+    Term.(const run $ workload $ sched_kind $ depth_arg $ seed_arg $ domains_arg $ stats_arg)
 
 (* ---------------------------------------------------------------- emulate *)
 

@@ -66,6 +66,7 @@ module Dsl = Cdse_psioa.Dsl
 module Scheduler = Cdse_sched.Scheduler
 module Schema = Cdse_sched.Schema
 module Measure = Cdse_sched.Measure
+module Par_measure = Cdse_sched.Par_measure
 module Insight = Cdse_sched.Insight
 module Balance = Cdse_sched.Balance
 module Task = Cdse_sched.Task

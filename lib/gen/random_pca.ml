@@ -1,8 +1,9 @@
 open Cdse_prob
 open Cdse_psioa
 open Cdse_config
+module Fault = Cdse_fault.Fault
 
-let make ~rng ?(n_members = 4) ?(prefix = "r") () =
+let make ~rng ?(n_members = 4) ?(prefix = "r") ?(faults = false) () =
   let member i =
     let name = Printf.sprintf "%s%d" prefix i in
     match Rng.int rng 3 with
@@ -10,13 +11,45 @@ let make ~rng ?(n_members = 4) ?(prefix = "r") () =
     | 1 -> Workloads.fragile ~p_die:(Rat.of_ints 1 (2 + Rng.int rng 3)) name
     | _ -> Workloads.spawner ~max_children:(1 + Rng.int rng 2) name
   in
-  let members = List.init n_members member in
-  let registry = Registry.of_list members in
+  let base_members = List.init n_members member in
+  (* With [~faults:true] a random subset of members is wrapped with crash
+     faults from [lib/fault], and an injector adversary joins the registry
+     to fire the crash/recover inputs — making the faults locally
+     controlled, hence schedulable by the standard schedulers. All the
+     extra randomness is drawn only on this path, so [~faults:false] is
+     byte-identical to the historical generator. *)
+  let members, fault_acts =
+    if not faults then (base_members, [])
+    else
+      let wrapped =
+        List.map
+          (fun m ->
+            let name = Psioa.name m in
+            match Rng.int rng 3 with
+            | 0 -> (m, [])
+            | 1 -> (Fault.crash_stop m, [ Fault.crash_action name ])
+            | _ ->
+                ( Fault.crash_recover m,
+                  [ Fault.crash_action name; Fault.recover_action name ] ))
+          base_members
+      in
+      (List.map fst wrapped, List.concat_map snd wrapped)
+  in
+  let injector =
+    if fault_acts = [] then []
+    else [ Fault.injector ~name:(prefix ^ "-inj") ~each:1 ~faults:fault_acts () ]
+  in
+  let registry = Registry.of_list (members @ injector) in
   let ids = List.map Psioa.name members in
   let initial_ids =
-    match List.filter (fun _ -> Rng.bool rng) ids with
-    | [] -> [ List.hd ids ]
-    | l -> l
+    let picked =
+      match List.filter (fun _ -> Rng.bool rng) ids with
+      | [] -> [ List.hd ids ]
+      | l -> l
+    in
+    (* The injector is always live: faults can strike from the start, and
+       churn never creates or destroys the adversary. *)
+    picked @ List.map Psioa.name injector
   in
   (* Deterministic pseudo-random creation: the action name hash selects
      which absent members an action creates. Derived purely from the

@@ -10,8 +10,18 @@
 open Cdse_prob
 open Cdse_config
 
-val make : rng:Rng.t -> ?n_members:int -> ?prefix:string -> unit -> Pca.t
+val make :
+  rng:Rng.t -> ?n_members:int -> ?prefix:string -> ?faults:bool -> unit -> Pca.t
 (** A random canonical PCA with [n_members] (default 4) registry members,
     a random initial sub-configuration, and a hash-derived created
     mapping. All member/action names carry [prefix] (default ["r"]), so
-    PCAs with distinct prefixes are composable. *)
+    PCAs with distinct prefixes are composable.
+
+    [~faults:true] (default [false]) additionally wraps a random subset of
+    members with {!Cdse_fault.Fault.crash_stop} / [crash_recover] and adds
+    a {!Cdse_fault.Fault.injector} adversary (always in the initial
+    configuration) firing each crash/recover input at most once, so faults
+    are locally controlled and every scheduler can interleave them with
+    the run-time creation/destruction churn. [~faults:false] draws exactly
+    the same random choices as before the flag existed — byte-identical
+    PCAs for a given seed. *)

@@ -1,28 +1,107 @@
-(* Global, single-threaded instrument registry. Mutations branch on [on]
-   first so that disabled-mode cost is a load and a conditional per site;
-   instruments are registered once at module-init time by the code they
-   instrument, so the registry hashtables are cold after startup. *)
+(* Global instrument registry. Mutations branch on [on] first so that
+   disabled-mode cost is a load and a conditional per site; instruments are
+   registered once at module-init time by the code they instrument, so the
+   registry hashtables are cold after startup.
+
+   Counters are the one instrument mutated from worker domains (the measure
+   engine's multicore path): a worker installs a [shard] in its domain-local
+   storage and counter increments are diverted into it, to be folded into the
+   global records by the coordinating domain at a layer barrier. Histograms
+   and gauges stay coordinator-only. Registration takes a mutex (cold path:
+   instruments are registered at module init, plus the occasional
+   construction-time lookup), so concurrent registration from two domains
+   cannot corrupt the registry tables. *)
 
 let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
 
+let registry_mutex = Mutex.create ()
+
+let registered tbl name make =
+  Mutex.lock registry_mutex;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+        let v = make () in
+        Hashtbl.add tbl name v;
+        v
+  in
+  Mutex.unlock registry_mutex;
+  v
+
 (* Counters *)
 
-type counter = { mutable c : int }
+type counter = { mutable c : int; id : int }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c = 0 } in
-      Hashtbl.add counters name c;
-      c
+(* Dense counter ids back the shard arrays; [by_id] resolves a shard slot
+   back to its counter at merge time. Both are only touched under
+   [registry_mutex]. *)
+let by_id : counter array ref = ref [||]
+let n_ids = ref 0
 
-let incr c = if !on then c.c <- c.c + 1
-let add c k = if !on then c.c <- c.c + k
+let counter name =
+  registered counters name (fun () ->
+      let c = { c = 0; id = !n_ids } in
+      n_ids := !n_ids + 1;
+      if !n_ids > Array.length !by_id then begin
+        let bigger = Array.make (max 16 (2 * !n_ids)) c in
+        Array.blit !by_id 0 bigger 0 (Array.length !by_id);
+        by_id := bigger
+      end;
+      !by_id.(c.id) <- c;
+      c)
+
+(* Domain shards: a plain delta array indexed by counter id, installed in
+   the worker's domain-local storage so the instrumentation sites need no
+   knowledge of the engine's parallelism. One DLS key for the whole
+   process (DLS slots are never reclaimed, so a key per shard would leak). *)
+
+type shard = { mutable deltas : int array }
+
+let shard_key : shard option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let new_shard () = { deltas = [||] }
+
+let shard_bump sh id k =
+  let n = Array.length sh.deltas in
+  if id >= n then begin
+    let bigger = Array.make (max 16 (max (id + 1) (2 * n))) 0 in
+    Array.blit sh.deltas 0 bigger 0 n;
+    sh.deltas <- bigger
+  end;
+  sh.deltas.(id) <- sh.deltas.(id) + k
+
+let with_shard sh f =
+  let prev = Domain.DLS.get shard_key in
+  Domain.DLS.set shard_key (Some sh);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set shard_key prev) f
+
+let merge_shard sh =
+  Array.iteri
+    (fun id d ->
+      if d <> 0 then begin
+        let c = !by_id.(id) in
+        c.c <- c.c + d;
+        sh.deltas.(id) <- 0
+      end)
+    sh.deltas
+
+let incr c =
+  if !on then
+    match Domain.DLS.get shard_key with
+    | None -> c.c <- c.c + 1
+    | Some sh -> shard_bump sh c.id 1
+
+let add c k =
+  if !on then
+    match Domain.DLS.get shard_key with
+    | None -> c.c <- c.c + k
+    | Some sh -> shard_bump sh c.id k
+
 let count c = c.c
 
 let counter_value name =
@@ -41,12 +120,8 @@ type histogram = {
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h = { buckets = Array.make 64 0; h_n = 0; h_total = 0; h_hi = 0 } in
-      Hashtbl.add histograms name h;
-      h
+  registered histograms name (fun () ->
+      { buckets = Array.make 64 0; h_n = 0; h_total = 0; h_hi = 0 })
 
 let bucket_of v =
   if v <= 0 then 0
@@ -75,13 +150,7 @@ type gauge = { mutable g : string option }
 
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 8
 
-let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g = None } in
-      Hashtbl.add gauges name g;
-      g
+let gauge name = registered gauges name (fun () -> { g = None })
 
 let set_gauge g v = if !on then g.g <- Some v
 

@@ -8,10 +8,17 @@
     instruments once at module initialisation, so steady-state cost with
     stats off is one load + branch per instrumentation site.
 
-    All state is global to the process and NOT thread-safe; the engine is
-    single-threaded and so are the instruments. Instrument names are
-    dot-separated lowercase paths ([measure.frontier.width]) and registration
-    is idempotent: asking for an existing name returns the same instrument.
+    All state is global to the process. Counters are safe to mutate from
+    worker domains {e through a shard} (see {!new_shard}): the multicore
+    measure engine installs a per-domain shard, increments accumulate
+    locally, and the coordinating domain folds them into the global records
+    at a layer barrier — no locks on the hot path. Histograms and gauges
+    are coordinator-only: they must never be mutated from two domains at
+    once (the engine only touches them between parallel sections).
+    Registration takes a mutex, so concurrent construction-time lookups are
+    safe. Instrument names are dot-separated lowercase paths
+    ([measure.frontier.width]) and registration is idempotent: asking for
+    an existing name returns the same instrument.
 
     Depends on nothing but the stdlib — [Rat] itself is instrumented with
     this module, so exact rationals cross the boundary as strings (see
@@ -44,6 +51,35 @@ val count : counter -> int
 
 val counter_value : string -> int
 (** Value of a counter by name; 0 if it was never registered. *)
+
+(** {1 Domain shards}
+
+    Per-domain accumulation buffers for counters, so worker domains of the
+    multicore measure engine can keep incrementing the ordinary global
+    counter handles without racing: while a shard is installed (via
+    {!with_shard}) in the calling domain, {!incr}/{!add} divert into it
+    instead of the global record. The coordinating domain merges shards at
+    layer barriers with {!merge_shard}. Counter {e sums} are therefore
+    conserved regardless of how work is split across domains. Shards cover
+    counters only — histograms, gauges and the event sink must stay on the
+    coordinating domain. *)
+
+type shard
+
+val new_shard : unit -> shard
+(** A fresh, empty shard (all deltas zero). *)
+
+val with_shard : shard -> (unit -> 'a) -> 'a
+(** [with_shard sh f] installs [sh] in {e this} domain's local storage for
+    the duration of [f]: every {!incr}/{!add} performed by [f] (at any
+    depth) accumulates into [sh]. The previously installed shard, if any,
+    is restored afterwards. A shard must not be installed in two domains at
+    the same time. *)
+
+val merge_shard : shard -> unit
+(** Fold the shard's deltas into the global counters and zero the shard.
+    Call from the coordinating domain while the shard's worker is idle (a
+    layer barrier); not safe concurrently with the owner still writing. *)
 
 (** {1 Histograms}
 

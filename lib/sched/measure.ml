@@ -1,128 +1,20 @@
 open Cdse_prob
 open Cdse_psioa
-module Obs = Cdse_obs.Obs
 
 type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
 
-(* Instruments for the budgeted expansion below. The frontier-width
-   histogram is fed once per layer; [measure.truncation_deficit] mirrors the
-   [`Truncated] deficit exactly ([Rat.to_string], reparsable with
-   [Rat.of_string]) and reads "0" after an [`Exact] run. *)
-let h_width = Obs.histogram "measure.frontier.width"
-let c_layers = Obs.counter "measure.layers"
-let c_finished = Obs.counter "measure.finished"
-let c_truncated = Obs.counter "measure.truncated"
-let c_choice_hit = Obs.counter "measure.choice.hit"
-let c_choice_miss = Obs.counter "measure.choice.miss"
-let g_deficit = Obs.gauge "measure.truncation_deficit"
+(* The cone-expansion engine itself lives in {!Par_measure}, which owns
+   both the sequential path (domains = 1, the historical implementation,
+   byte for byte) and the multicore path (frontier layers sharded across a
+   pool of OCaml 5 domains, bit-identical results — see parmeasure.mli for
+   the determinism contract). This module keeps the measure-theoretic
+   surface: cones, traces, reachability, expectations, sampling. *)
 
-(* Iteratively expand the cone frontier. [alive] holds executions the
-   scheduler may still extend, [finished] the accumulated halting mass.
+let exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth =
+  Par_measure.exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth
 
-   With [~memo:true] the expansion reuses {!Psioa.memoize} so signature and
-   transition lookups are computed once per [(state, action)] across the
-   whole frontier, and — for {!Scheduler.is_memoryless} schedulers — caches
-   the validated scheduler choice keyed by [(length, lstate)] instead of
-   re-validating per execution. Both caches are per-call: the results are
-   observationally identical, so the flag is purely a performance knob. *)
-(* Keep the [keep] most probable entries of a frontier (ties broken by the
-   execution order, so truncation is deterministic) and return the dropped
-   mass. Only ever called when a budget is exceeded: the unbudgeted path
-   never sorts. *)
-let truncate_entries ~keep entries =
-  let arr = Array.of_list entries in
-  Array.stable_sort
-    (fun (e1, p1) (e2, p2) ->
-      let c = Rat.compare p2 p1 in
-      if c <> 0 then c else Exec.compare e1 e2)
-    arr;
-  let kept = ref [] and lost = ref Rat.zero in
-  Array.iteri
-    (fun i ((_, p) as entry) ->
-      if i < keep then kept := entry :: !kept else lost := Rat.add !lost p)
-    arr;
-  Obs.add c_truncated (Stdlib.max 0 (Array.length arr - keep));
-  (List.rev !kept, !lost)
-
-let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width auto sched ~depth =
-  let auto = if memo then Psioa.memoize auto else auto in
-  let choice_of =
-    if memo && Scheduler.is_memoryless sched then begin
-      (* Every alive execution at frontier layer [i] has length [i], so for
-         a memoryless scheduler the validated choice is a function of
-         (length, lstate) alone. *)
-      let tbl = Hashtbl.create 32 in
-      fun e ->
-        let key = (Exec.length e, Exec.lstate e) in
-        match Hashtbl.find_opt tbl key with
-        | Some d ->
-            Obs.incr c_choice_hit;
-            d
-        | None ->
-            Obs.incr c_choice_miss;
-            let d = Scheduler.validate_choice auto sched e in
-            Hashtbl.add tbl key d;
-            d
-    end
-    else fun e -> Scheduler.validate_choice auto sched e
-  in
-  let finish alive finished lost =
-    if Obs.enabled () then Obs.set_gauge g_deficit (Rat.to_string lost);
-    let d = Dist.make ~compare:Exec.compare (List.rev_append finished alive) in
-    if Rat.is_zero lost then `Exact d else `Truncated (d, lost)
-  in
-  let rec go step alive n_finished finished lost =
-    if step = depth || alive = [] then finish alive finished lost
-    else begin
-      if Obs.enabled () then begin
-        Obs.incr c_layers;
-        Obs.observe h_width (List.length alive)
-      end;
-      let alive' = ref [] and finished' = ref finished and n_finished' = ref n_finished in
-      List.iter
-        (fun (e, p) ->
-          let choice = choice_of e in
-          if not (Dist.is_proper choice) then begin
-            let halt_mass = Rat.mul p (Dist.deficit choice) in
-            if not (Rat.is_zero halt_mass) then begin
-              Obs.incr c_finished;
-              finished' := (e, halt_mass) :: !finished';
-              incr n_finished'
-            end
-          end;
-          let q = Exec.lstate e in
-          Dist.iter
-            (fun act pa ->
-              let eta = Psioa.step auto q act in
-              let pa = Rat.mul p pa in
-              Dist.iter
-                (fun q' pq -> alive' := (Exec.extend e act q', Rat.mul pa pq) :: !alive')
-                eta)
-            choice)
-        alive;
-      (* Width budget: prune the frontier to its most probable executions,
-         accounting the pruned mass as truncation deficit. *)
-      let alive', lost =
-        match max_width with
-        | Some w when List.length !alive' > w ->
-            let kept, dropped = truncate_entries ~keep:w !alive' in
-            (kept, Rat.add lost dropped)
-        | _ -> (!alive', lost)
-      in
-      (* Support budget: once completed + frontier executions exceed the
-         cap, stop expanding — the surviving frontier is reported as
-         completed (a partial measure), the rest as deficit. *)
-      match max_execs with
-      | Some cap when !n_finished' + List.length alive' > cap ->
-          let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
-          finish kept !finished' (Rat.add lost dropped)
-      | _ -> go (step + 1) alive' !n_finished' !finished' lost
-    end
-  in
-  go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] 0 [] Rat.zero
-
-let exec_dist ?memo ?max_execs ?max_width auto sched ~depth =
-  match exec_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth with
+let exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth =
+  match exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth with
   | `Exact d | `Truncated (d, _) -> d
 
 let cone_prob auto sched alpha =
@@ -147,19 +39,19 @@ let map_budgeted f = function
 
 let trace_of auto = Exec.trace ~sig_of:(Psioa.signature auto)
 
-let trace_dist ?memo ?max_execs ?max_width auto sched ~depth =
+let trace_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth =
   Dist.map
     ~compare:(Cdse_util.Order.list Action.compare)
     (trace_of auto)
-    (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
+    (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
 
-let trace_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth =
+let trace_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth =
   map_budgeted
     (Dist.map ~compare:(Cdse_util.Order.list Action.compare) (trace_of auto))
-    (exec_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth)
+    (exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth)
 
-let n_execs ?memo ?max_execs ?max_width auto sched ~depth =
-  Dist.size (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
+let n_execs ?memo ?max_execs ?max_width ?domains auto sched ~depth =
+  Dist.size (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
 
 (* Probabilistic reachability: mass of completed executions that visit a
    state satisfying the predicate within the depth bound. *)
@@ -168,18 +60,18 @@ let reach_mass ~pred d =
     (fun acc e p -> if List.exists pred (Exec.states e) then Rat.add acc p else acc)
     Rat.zero d
 
-let reach_prob ?memo ?max_execs ?max_width auto sched ~depth ~pred =
-  reach_mass ~pred (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
+let reach_prob ?memo ?max_execs ?max_width ?domains auto sched ~depth ~pred =
+  reach_mass ~pred (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
 
-let reach_prob_budgeted ?memo ?max_execs ?max_width auto sched ~depth ~pred =
+let reach_prob_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth ~pred =
   map_budgeted (reach_mass ~pred)
-    (exec_dist_budgeted ?memo ?max_execs ?max_width auto sched ~depth)
+    (exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth)
 
 (* Expected number of scheduled steps of the completed execution. *)
-let expected_steps ?memo ?max_execs ?max_width auto sched ~depth =
+let expected_steps ?memo ?max_execs ?max_width ?domains auto sched ~depth =
   Dist.expect
     (fun e -> Rat.of_int (Exec.length e))
-    (exec_dist ?memo ?max_execs ?max_width auto sched ~depth)
+    (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
 
 (* Monte-Carlo estimation: drive sampled runs instead of expanding the
    exact cone tree. The estimator trades exactness for scale — the exact

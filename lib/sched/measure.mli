@@ -24,7 +24,16 @@
       frontier is reported as completed.
 
     Without budgets the computation is untouched — same code path, same
-    results, bit for bit. *)
+    results, bit for bit.
+
+    {2 Parallelism}
+
+    [?domains n] (default 1) expands each cone frontier layer across [n]
+    OCaml 5 domains via {!Par_measure}. The result is bit-identical to the
+    sequential run — same distribution, same [`Exact]/[`Truncated] tag,
+    same deficit, conserved {!Cdse_obs.Obs} totals — for every domain
+    count; see {!Par_measure} for the determinism contract. [domains = 1]
+    runs the historical sequential code path unchanged. *)
 
 open Cdse_prob
 open Cdse_psioa
@@ -35,7 +44,7 @@ type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
     exact probability mass the budgets discarded. *)
 
 val exec_dist :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
   Exec.t Dist.t
 (** Exact distribution over completed executions up to [depth] steps.
     Raises {!Scheduler.Bad_choice} if the scheduler violates the
@@ -54,7 +63,7 @@ val exec_dist :
     distinguish scheduler halting from budget truncation. *)
 
 val exec_dist_budgeted :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
   Exec.t Dist.t budgeted
 (** Like {!exec_dist}, but reports budget truncation explicitly:
     [`Truncated (d, lost)] satisfies [Dist.mass d + Dist.deficit d' + lost]
@@ -67,35 +76,35 @@ val cone_prob : Psioa.t -> Scheduler.t -> Exec.t -> Rat.t
     transition probabilities along [α]. *)
 
 val trace_dist :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
   Action.t list Dist.t
 (** Pushforward of {!exec_dist} through the trace map (Definition 2.2). *)
 
 val trace_dist_budgeted :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
   Action.t list Dist.t budgeted
 (** Budget-aware {!trace_dist}: the pushforward of {!exec_dist_budgeted},
     carrying the truncation deficit through unchanged. *)
 
 val n_execs :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int -> int
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int -> int
 (** Support size of {!exec_dist} — used by the scaling benchmarks (E7). *)
 
 val reach_prob :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
   Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Cdse_prob.Rat.t
 (** Exact probability that a completed execution visits a state satisfying
     [pred] within [depth] steps. Under budgets this is a lower bound. *)
 
 val reach_prob_budgeted :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
   Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Rat.t budgeted
 (** Budget-aware reachability: [`Truncated (p, lost)] brackets the true
     probability in [[p, p + lost]] — the deficit mass may or may not have
     reached [pred]. *)
 
 val expected_steps :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
   Cdse_prob.Rat.t
 (** Expected length of the completed execution (exact; under budgets, the
     expectation over the computed sub-distribution). *)

@@ -1,0 +1,343 @@
+open Cdse_prob
+open Cdse_psioa
+module Obs = Cdse_obs.Obs
+
+type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
+
+(* Instruments for the budgeted expansion below (shared by name with any
+   other reader: registration is idempotent). The frontier-width histogram
+   is fed once per layer by the coordinating domain;
+   [measure.truncation_deficit] mirrors the [`Truncated] deficit exactly
+   ([Rat.to_string], reparsable with [Rat.of_string]) and reads "0" after
+   an [`Exact] run. Worker domains only ever touch counters, through the
+   per-domain {!Obs.shard}s merged at layer barriers. *)
+let h_width = Obs.histogram "measure.frontier.width"
+let c_layers = Obs.counter "measure.layers"
+let c_finished = Obs.counter "measure.finished"
+let c_truncated = Obs.counter "measure.truncated"
+let c_choice_hit = Obs.counter "measure.choice.hit"
+let c_choice_miss = Obs.counter "measure.choice.miss"
+let g_deficit = Obs.gauge "measure.truncation_deficit"
+
+(* ------------------------------------------------------------------ pool *)
+
+(* A reusable barrier-style pool: [size - 1] spawned domains plus the
+   calling domain (worker 0). [run] hands every worker the same job and
+   returns once all have finished — one lock round-trip per worker per
+   layer, nothing on the per-entry hot path. Jobs must not raise (the
+   engine wraps worker bodies and reports failures out of band). *)
+module Pool = struct
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    start : Condition.t;
+    finished : Condition.t;
+    mutable job : (int -> unit) option;
+    mutable epoch : int;
+    mutable pending : int;
+    mutable stop : bool;
+    mutable doms : unit Domain.t list;
+  }
+
+  let worker t wid =
+    let epoch = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.mutex;
+      while (not t.stop) && t.epoch = !epoch do
+        Condition.wait t.start t.mutex
+      done;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        running := false
+      end
+      else begin
+        epoch := t.epoch;
+        let job = Option.get t.job in
+        Mutex.unlock t.mutex;
+        job wid;
+        Mutex.lock t.mutex;
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.broadcast t.finished;
+        Mutex.unlock t.mutex
+      end
+    done
+
+  let create size =
+    let t =
+      { size; mutex = Mutex.create (); start = Condition.create ();
+        finished = Condition.create (); job = None; epoch = 0; pending = 0;
+        stop = false; doms = [] }
+    in
+    t.doms <- List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+    t
+
+  let run t job =
+    if t.size = 1 then job 0
+    else begin
+      Mutex.lock t.mutex;
+      t.job <- Some job;
+      t.pending <- t.size - 1;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      job 0;
+      Mutex.lock t.mutex;
+      while t.pending > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      Mutex.unlock t.mutex
+    end
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.doms;
+    t.doms <- []
+end
+
+(* ---------------------------------------------------------- shared parts *)
+
+(* Keep the [keep] most probable entries of a frontier and return the
+   dropped mass. The sort key [(probability desc, Exec.compare asc)] is a
+   total order on any frontier (two distinct cone branches are distinct
+   executions, so [Exec.compare] never ties), hence the kept set, the kept
+   order and the dropped-mass sum are all independent of the input
+   permutation — this is what makes budgeted truncation deterministic
+   under both sequential iteration and multicore chunking. Only ever
+   called when a budget is exceeded: the unbudgeted path never sorts. *)
+let truncate_entries ~keep entries =
+  let arr = Array.of_list entries in
+  Array.stable_sort
+    (fun (e1, p1) (e2, p2) ->
+      let c = Rat.compare p2 p1 in
+      if c <> 0 then c else Exec.compare e1 e2)
+    arr;
+  let kept = ref [] and lost = ref Rat.zero in
+  Array.iteri
+    (fun i ((_, p) as entry) ->
+      if i < keep then kept := entry :: !kept else lost := Rat.add !lost p)
+    arr;
+  Obs.add c_truncated (Stdlib.max 0 (Array.length arr - keep));
+  (List.rev !kept, !lost)
+
+(* Validated scheduler choice, optionally cached. With [~memo:true] and a
+   {!Scheduler.is_memoryless} scheduler the validated choice is a function
+   of [(length, lstate)] alone (every alive execution at frontier layer [i]
+   has length [i]), so it is cached per engine instance. The cache is
+   engine-local: the parallel path builds one per worker domain, so the
+   hit/miss split depends on the domain count but the {e sum} (one lookup
+   per frontier entry) does not. *)
+let choice_fn ~memo auto sched =
+  if memo && Scheduler.is_memoryless sched then begin
+    let tbl = Hashtbl.create 32 in
+    fun e ->
+      let key = (Exec.length e, Exec.lstate e) in
+      match Hashtbl.find_opt tbl key with
+      | Some d ->
+          Obs.incr c_choice_hit;
+          d
+      | None ->
+          Obs.incr c_choice_miss;
+          let d = Scheduler.validate_choice auto sched e in
+          Hashtbl.add tbl key d;
+          d
+  end
+  else fun e -> Scheduler.validate_choice auto sched e
+
+let finish alive finished lost =
+  if Obs.enabled () then Obs.set_gauge g_deficit (Rat.to_string lost);
+  let d = Dist.make ~compare:Exec.compare (List.rev_append finished alive) in
+  if Rat.is_zero lost then `Exact d else `Truncated (d, lost)
+
+(* ------------------------------------------------------ sequential engine *)
+
+(* Iteratively expand the cone frontier. [alive] holds executions the
+   scheduler may still extend, [finished] the accumulated halting mass.
+
+   With [~memo:true] the expansion reuses {!Psioa.memoize} so signature and
+   transition lookups are computed once per [(state, action)] across the
+   whole frontier. Both caches are per-call: the results are
+   observationally identical, so the flag is purely a performance knob. *)
+let seq_exec_dist_budgeted ~memo ?max_execs ?max_width auto sched ~depth =
+  let auto = if memo then Psioa.memoize auto else auto in
+  let choice_of = choice_fn ~memo auto sched in
+  let rec go step alive n_finished finished lost =
+    if step = depth || alive = [] then finish alive finished lost
+    else begin
+      if Obs.enabled () then begin
+        Obs.incr c_layers;
+        Obs.observe h_width (List.length alive)
+      end;
+      let alive' = ref [] and finished' = ref finished and n_finished' = ref n_finished in
+      List.iter
+        (fun (e, p) ->
+          let choice = choice_of e in
+          if not (Dist.is_proper choice) then begin
+            let halt_mass = Rat.mul p (Dist.deficit choice) in
+            if not (Rat.is_zero halt_mass) then begin
+              Obs.incr c_finished;
+              finished' := (e, halt_mass) :: !finished';
+              incr n_finished'
+            end
+          end;
+          let q = Exec.lstate e in
+          Dist.iter
+            (fun act pa ->
+              let eta = Psioa.step auto q act in
+              let pa = Rat.mul p pa in
+              Dist.iter
+                (fun q' pq -> alive' := (Exec.extend e act q', Rat.mul pa pq) :: !alive')
+                eta)
+            choice)
+        alive;
+      (* Width budget: prune the frontier to its most probable executions,
+         accounting the pruned mass as truncation deficit. *)
+      let alive', lost =
+        match max_width with
+        | Some w when List.length !alive' > w ->
+            let kept, dropped = truncate_entries ~keep:w !alive' in
+            (kept, Rat.add lost dropped)
+        | _ -> (!alive', lost)
+      in
+      (* Support budget: once completed + frontier executions exceed the
+         cap, stop expanding — the surviving frontier is reported as
+         completed (a partial measure), the rest as deficit. *)
+      match max_execs with
+      | Some cap when !n_finished' + List.length alive' > cap ->
+          let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
+          finish kept !finished' (Rat.add lost dropped)
+      | _ -> go (step + 1) alive' !n_finished' !finished' lost
+    end
+  in
+  go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] 0 [] Rat.zero
+
+(* ------------------------------------------------------- parallel engine *)
+
+(* Frontier layers are embarrassingly parallel: each entry's one-step
+   extension depends only on that entry. Workers claim chunks of the
+   frontier array off a shared atomic cursor (chunked self-scheduling:
+   fast workers steal the remaining chunks of slow ones), write each
+   entry's extensions and halting mass into its own slot, and the
+   coordinator merges slots in index order — so the merged multiset of
+   entries, and hence every downstream sort/normalization, is identical to
+   the sequential engine's no matter how the OS schedules the domains. *)
+let par_exec_dist_budgeted ~domains ~chunk ~memo ?max_execs ?max_width auto sched ~depth =
+  let n_workers = max 2 (min domains 64) in
+  (* Per-domain memoization: [Psioa.memoize] caches are plain hashtables,
+     so each worker gets its own memoized instance (and choice cache) —
+     domain-safe without hot-path locks; lookup totals stay conserved. *)
+  let autos =
+    Array.init n_workers (fun _ -> if memo then Psioa.memoize auto else auto)
+  in
+  let choices = Array.map (fun a -> choice_fn ~memo a sched) autos in
+  let shards = Array.init n_workers (fun _ -> Obs.new_shard ()) in
+  let pool = Pool.create n_workers in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let rec go step frontier n_finished finished lost =
+    let n = Array.length frontier in
+    if step = depth || n = 0 then finish (Array.to_list frontier) finished lost
+    else begin
+      if Obs.enabled () then begin
+        Obs.incr c_layers;
+        Obs.observe h_width n
+      end;
+      let exts = Array.make n [] in
+      let halts = Array.make n Rat.zero in
+      (* First worker failure per chunk, keyed by the chunk's base index:
+         the globally first failing entry always gets recorded (entries
+         before it cannot stop any worker), so re-raising the minimum is
+         deterministic. *)
+      let errors = Array.make n_workers None in
+      let next = Atomic.make 0 in
+      let chunk_size =
+        match chunk with Some c -> max 1 c | None -> max 1 (n / (n_workers * 8))
+      in
+      Pool.run pool (fun w ->
+          let auto = autos.(w) and choice_of = choices.(w) in
+          Obs.with_shard shards.(w) (fun () ->
+              let running = ref true in
+              while !running do
+                let lo = Atomic.fetch_and_add next chunk_size in
+                if lo >= n then running := false
+                else begin
+                  try
+                    for i = lo to min n (lo + chunk_size) - 1 do
+                      let e, p = frontier.(i) in
+                      let choice = choice_of e in
+                      if not (Dist.is_proper choice) then
+                        halts.(i) <- Rat.mul p (Dist.deficit choice);
+                      let q = Exec.lstate e in
+                      let acc = ref [] in
+                      Dist.iter
+                        (fun act pa ->
+                          let eta = Psioa.step auto q act in
+                          let pa = Rat.mul p pa in
+                          Dist.iter
+                            (fun q' pq ->
+                              acc := (Exec.extend e act q', Rat.mul pa pq) :: !acc)
+                            eta)
+                        choice;
+                      exts.(i) <- !acc
+                    done
+                  with exn ->
+                    errors.(w) <- Some (lo, exn);
+                    running := false
+                end
+              done));
+      Array.iter Obs.merge_shard shards;
+      (match
+         Array.fold_left
+           (fun best err ->
+             match (best, err) with
+             | None, e -> e
+             | Some _, None -> best
+             | Some (i, _), Some (j, _) -> if j < i then err else best)
+           None errors
+       with
+      | Some (_, exn) -> raise exn
+      | None -> ());
+      let alive' = ref [] and finished' = ref finished and n_finished' = ref n_finished in
+      Array.iteri
+        (fun i (e, _) ->
+          let h = halts.(i) in
+          if not (Rat.is_zero h) then begin
+            Obs.incr c_finished;
+            finished' := (e, h) :: !finished';
+            incr n_finished'
+          end;
+          alive' := List.rev_append exts.(i) !alive')
+        frontier;
+      let alive', lost =
+        match max_width with
+        | Some w when List.length !alive' > w ->
+            let kept, dropped = truncate_entries ~keep:w !alive' in
+            (kept, Rat.add lost dropped)
+        | _ -> (!alive', lost)
+      in
+      match max_execs with
+      | Some cap when !n_finished' + List.length alive' > cap ->
+          let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
+          finish kept !finished' (Rat.add lost dropped)
+      | _ -> go (step + 1) (Array.of_list alive') !n_finished' !finished' lost
+    end
+  in
+  go 0 [| (Exec.init (Psioa.start auto), Rat.one) |] 0 [] Rat.zero
+
+(* ---------------------------------------------------------- entry points *)
+
+let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width ?(domains = 1) ?chunk auto
+    sched ~depth =
+  if domains <= 1 then seq_exec_dist_budgeted ~memo ?max_execs ?max_width auto sched ~depth
+  else par_exec_dist_budgeted ~domains ~chunk ~memo ?max_execs ?max_width auto sched ~depth
+
+let exec_dist ?memo ?max_execs ?max_width ?domains ?chunk auto sched ~depth =
+  match exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?chunk auto sched ~depth with
+  | `Exact d | `Truncated (d, _) -> d
+
+module For_tests = struct
+  let truncate_entries = truncate_entries
+end

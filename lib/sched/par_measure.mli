@@ -1,0 +1,89 @@
+(** Multicore exact-measure engine (OCaml 5 domains).
+
+    The cone expansion of {!Measure.exec_dist} proceeds layer by layer, and
+    each frontier execution's one-step extension is independent of every
+    other's — embarrassingly parallel work. This module shards each layer
+    across a reusable pool of OCaml 5 [Domain]s: workers claim chunks of
+    the frontier array off an atomic cursor (chunked self-scheduling, so
+    fast workers take over the remainder of slow ones), accumulate into
+    per-domain state, and the coordinating domain merges the per-entry
+    results in frontier order at the layer barrier.
+
+    {2 Determinism contract}
+
+    The result is {b bit-identical to the sequential engine}, for every
+    domain count, chunk size and OS scheduling of the workers:
+
+    - the returned distribution satisfies {!Cdse_prob.Dist.equal} with the
+      sequential one {e and} has the same in-memory normal form (entries
+      sorted by {!Cdse_psioa.Exec.compare}, exact rationals in canonical
+      form — rational arithmetic is exact, so merge order cannot perturb
+      masses);
+    - the [`Exact] / [`Truncated] tag and the truncation deficit are
+      identical — budget pruning sorts by the total order
+      [(probability descending, Exec.compare ascending)], which does not
+      depend on the arrival order of frontier entries;
+    - the {!Cdse_obs.Obs} engine totals are conserved:
+      [measure.layers], [measure.finished], [measure.truncated], the
+      [measure.frontier.width] histogram and the
+      [measure.truncation_deficit] gauge are identical to a sequential
+      run, and the memoization and choice-cache counters are conserved as
+      {e sums} ([hit + miss] = one lookup per query; the split between
+      hit and miss depends on the domain count, because each worker warms
+      its own cache).
+
+    Worker domains never touch shared mutable state on the hot path: each
+    gets its own {!Cdse_psioa.Psioa.memoize} instance and validated-choice
+    cache, and its counter increments accumulate in a per-domain
+    {!Cdse_obs.Obs} shard merged at the layer barrier.
+
+    [domains = 1] (the default) runs the sequential engine unchanged —
+    byte-for-byte the same code path as {!Measure.exec_dist_budgeted}. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
+(** Same shape as {!Measure.budgeted} (structural, so the two interchange
+    freely). *)
+
+val exec_dist_budgeted :
+  ?memo:bool ->
+  ?max_execs:int ->
+  ?max_width:int ->
+  ?domains:int ->
+  ?chunk:int ->
+  Psioa.t ->
+  Scheduler.t ->
+  depth:int ->
+  Exec.t Dist.t budgeted
+(** Like {!Measure.exec_dist_budgeted}, expanded on [?domains] (default 1,
+    clamped to [64]) OCaml domains: the calling domain coordinates and
+    works, [domains - 1] are spawned for the call and joined before it
+    returns. [?chunk] overrides the number of frontier entries a worker
+    claims per cursor fetch (default: frontier size / (domains × 8),
+    at least 1) — a tuning and test knob; any value yields the same
+    result, see the determinism contract above. *)
+
+val exec_dist :
+  ?memo:bool ->
+  ?max_execs:int ->
+  ?max_width:int ->
+  ?domains:int ->
+  ?chunk:int ->
+  Psioa.t ->
+  Scheduler.t ->
+  depth:int ->
+  Exec.t Dist.t
+(** {!exec_dist_budgeted} with the truncation deficit folded into the
+    distribution's own {!Dist.deficit}. *)
+
+(**/**)
+
+module For_tests : sig
+  val truncate_entries :
+    keep:int -> (Exec.t * Rat.t) list -> (Exec.t * Rat.t) list * Rat.t
+  (** The budget-pruning step, exposed so the regression suite can verify
+      that permuting the frontier leaves the kept entries and dropped mass
+      unchanged. *)
+end

@@ -1,0 +1,246 @@
+(* Differential conformance suite for the exact-measure engines.
+
+   Three independent implementations compute the Section 3 depth-bounded
+   execution measure: the naive list-based oracle (test/support/oracle.ml,
+   shares no code with production), the sequential engine
+   (Measure.exec_dist, domains = 1) and the multicore engine
+   (Par_measure, domains ≥ 2). The suite generates random PSIOAs and PCAs
+   (including fault-wrapped churning ones) and asserts all of them agree
+   — distributions Dist.equal, budget tags and deficits identical, Obs
+   totals conserved — for every domain count and chunk size.
+
+   A committed corpus of previously interesting seeds (test/corpus/) is
+   replayed first, then the randomized properties run with shrinking. *)
+
+open Cdse_prob
+open Cdse_psioa
+open Cdse_sched
+open Cdse_testkit
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Domain counts exercised against the sequential engine: always 2 and 4,
+   plus CDSE_TEST_DOMAINS when the environment (CI) asks for another. *)
+let test_domains =
+  let base = [ 2; 4 ] in
+  match Option.bind (Sys.getenv_opt "CDSE_TEST_DOMAINS") int_of_string_opt with
+  | Some n when n > 1 && not (List.mem n base) -> base @ [ n ]
+  | _ -> base
+
+(* ------------------------------------------------------------ scenarios *)
+
+(* A conformance case is four small integers; everything else is derived
+   deterministically, so qcheck's integer shrinking shrinks the case. *)
+type case = { seed : int; kind : int; sched : int; depth : int }
+
+let build { seed; kind; sched; depth } =
+  let rng = Rng.make seed in
+  let auto =
+    match kind mod 3 with
+    | 0 -> Cdse_gen.Random_auto.make ~rng ~name:"ca" ~n_states:6 ~n_actions:3 ()
+    | 1 -> Cdse_config.Pca.psioa (Cdse_gen.Random_pca.make ~rng ~n_members:3 ())
+    | _ ->
+        Cdse_config.Pca.psioa
+          (Cdse_gen.Random_pca.make ~rng ~n_members:3 ~faults:true ())
+  in
+  let sched =
+    match sched mod 3 with
+    | 0 -> Scheduler.uniform auto
+    | 1 -> Scheduler.first_enabled auto
+    | _ -> Scheduler.round_robin auto
+  in
+  (auto, Scheduler.bounded depth sched, depth)
+
+let case_arb =
+  let open QCheck in
+  map
+    ~rev:(fun { seed; kind; sched; depth } -> (seed, kind, sched, depth))
+    (fun (seed, kind, sched, depth) -> { seed; kind; sched; depth })
+    (quad (int_bound 100_000) (int_bound 2) (int_bound 2) (int_range 2 4))
+
+let print_case { seed; kind; sched; depth } =
+  Printf.sprintf "{seed=%d; kind=%d; sched=%d; depth=%d}" seed kind sched depth
+
+let case_arb = QCheck.set_print print_case case_arb
+
+(* ------------------------------------------------------------ equality *)
+
+let budgeted_equal eq a b =
+  match (a, b) with
+  | `Exact d1, `Exact d2 -> eq d1 d2
+  | `Truncated (d1, l1), `Truncated (d2, l2) -> eq d1 d2 && Rat.equal l1 l2
+  | _ -> false
+
+(* The full conformance check for one case: oracle vs sequential (plain
+   and memoized) vs every multicore configuration. *)
+let conforms case =
+  let auto, sched, depth = build case in
+  let reference = Oracle.exec_dist auto sched ~depth in
+  let seq = Measure.exec_dist auto sched ~depth in
+  Dist.equal reference seq
+  && Dist.equal seq (Measure.exec_dist ~memo:true auto sched ~depth)
+  && List.for_all
+       (fun domains ->
+         Dist.equal seq (Measure.exec_dist ~domains auto sched ~depth)
+         && Dist.equal seq (Measure.exec_dist ~memo:true ~domains auto sched ~depth))
+       test_domains
+
+let prop_conformance =
+  QCheck.Test.make ~count:200
+    ~name:"oracle = sequential = memoized = multicore (exec_dist)" case_arb
+    conforms
+
+(* Budgets: the oracle has none, so the sequential engine is the reference;
+   tag ([`Exact] / [`Truncated]) and exact deficit must survive sharding. *)
+let prop_budgeted_conformance =
+  QCheck.Test.make ~count:100
+    ~name:"budget tag and deficit identical across domain counts" case_arb
+    (fun case ->
+      let auto, sched, depth = build case in
+      let width = 1 + (case.seed mod 7) in
+      let cap = 2 + (case.seed mod 11) in
+      let run ?domains () =
+        Measure.exec_dist_budgeted ~max_width:width ~max_execs:cap ?domains auto
+          sched ~depth
+      in
+      let seq = run () in
+      List.for_all
+        (fun domains -> budgeted_equal Dist.equal seq (run ~domains ()))
+        test_domains)
+
+(* Chunked self-scheduling: any chunk size partitions every frontier the
+   same way the merge reassembles it, so the result cannot depend on it.
+   chunk = 1 maximally interleaves workers (each entry a separate claim);
+   chunk = 64 usually hands whole layers to one worker. *)
+let prop_chunk_independent =
+  QCheck.Test.make ~count:50 ~name:"chunk size never changes the result" case_arb
+    (fun case ->
+      let auto, sched, depth = build case in
+      let seq = Measure.exec_dist auto sched ~depth in
+      Dist.equal seq (Par_measure.exec_dist ~domains:3 ~chunk:1 auto sched ~depth)
+      && Dist.equal seq
+           (Par_measure.exec_dist ~domains:3 ~chunk:64 auto sched ~depth))
+
+(* ------------------------------------------------- frontier-order audit *)
+
+(* Budget pruning is the only frontier-order-sensitive step in the engine
+   (everything else folds with exact, commutative rational arithmetic into
+   order-normalizing Dist.make). Its comparator (probability descending,
+   Exec.compare ascending) is a total order on any frontier — distinct
+   cone branches are distinct executions — so permuting the frontier must
+   leave both the kept entries and the dropped mass unchanged. *)
+let prop_truncate_permutation_invariant =
+  QCheck.Test.make ~count:50 ~name:"frontier permutation leaves pruning unchanged"
+    case_arb (fun case ->
+      let auto, sched, depth = build case in
+      let entries = Dist.items (Measure.exec_dist auto sched ~depth) in
+      let keep = 1 + (case.seed mod 5) in
+      let kept, lost = Par_measure.For_tests.truncate_entries ~keep entries in
+      let rng = Rng.make (case.seed + 1) in
+      List.for_all
+        (fun _ ->
+          let kept', lost' =
+            Par_measure.For_tests.truncate_entries ~keep (Rng.shuffle rng entries)
+          in
+          Rat.equal lost lost'
+          && List.length kept = List.length kept'
+          && List.for_all2
+               (fun (e, p) (e', p') -> Exec.compare e e' = 0 && Rat.equal p p')
+               kept kept')
+        [ 1; 2; 3 ])
+
+(* --------------------------------------------------- Obs conservation *)
+
+(* Quantities the determinism contract promises are conserved across
+   domain counts. The hit/miss *split* of the memo and choice caches is
+   not conserved (each worker warms its own cache) — only the sums are;
+   sched.validations and rat.promotions vary for the same reason. *)
+let conserved snapshot =
+  let c name =
+    match List.assoc_opt name snapshot.Cdse_obs.Obs.s_counters with
+    | Some v -> v
+    | None -> 0
+  in
+  let sum2 a b = c a + c b in
+  ( c "measure.layers",
+    c "measure.finished",
+    c "measure.truncated",
+    sum2 "measure.choice.hit" "measure.choice.miss",
+    sum2 "psioa.memo.sig.hit" "psioa.memo.sig.miss",
+    sum2 "psioa.memo.step.hit" "psioa.memo.step.miss",
+    List.assoc_opt "measure.truncation_deficit" snapshot.s_gauges,
+    List.assoc_opt "measure.frontier.width" snapshot.s_histograms )
+
+let prop_obs_conserved =
+  QCheck.Test.make ~count:40
+    ~name:"Obs totals conserved between domains=1 and domains=4" case_arb
+    (fun case ->
+      let auto, sched, depth = build case in
+      let run domains =
+        snd
+          (Cdse_obs.Obs.with_stats (fun () ->
+               Measure.exec_dist ~memo:true ~domains ~max_width:(2 + (case.seed mod 6))
+                 auto sched ~depth))
+      in
+      conserved (run 1) = conserved (run 4))
+
+(* ------------------------------------------------------- corpus replay *)
+
+(* Seeds that once exposed bugs or cover structural corners (faulty PCAs,
+   truncating runs, deep uniform branching). Replayed verbatim before the
+   randomized properties; add a line whenever qcheck shrinks a failure. *)
+let corpus () =
+  (* dune runtest runs with cwd = the test stanza's build dir (where the
+     (deps) corpus lives); dune exec from the root does not — also look
+     next to the executable. *)
+  let candidates =
+    [
+      Filename.concat "corpus" "seeds.txt";
+      Filename.concat (Filename.dirname Sys.executable_name) "corpus/seeds.txt";
+      "test/corpus/seeds.txt";
+    ]
+  in
+  let path =
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> List.hd candidates
+  in
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> (
+        match String.trim line with
+        | "" -> go acc
+        | l when l.[0] = '#' -> go acc
+        | l ->
+            (match List.map int_of_string (String.split_on_char ' ' l) with
+            | [ seed; kind; sched; depth ] -> go ({ seed; kind; sched; depth } :: acc)
+            | _ -> failwith ("bad corpus line: " ^ l)))
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_corpus () =
+  List.iter
+    (fun case ->
+      Alcotest.(check bool)
+        (Printf.sprintf "corpus case %s conforms" (print_case case))
+        true (conforms case))
+    (corpus ())
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ( "corpus",
+        [ Alcotest.test_case "replay committed seed corpus" `Quick test_corpus ] );
+      ( "differential",
+        [
+          qtest prop_conformance;
+          qtest prop_budgeted_conformance;
+          qtest prop_chunk_independent;
+        ] );
+      ( "determinism",
+        [ qtest prop_truncate_permutation_invariant; qtest prop_obs_conserved ] );
+    ]
