@@ -38,6 +38,15 @@ let depths = [ 3; 4; 5; 6 ]
 let par_workloads = [ ("walk_b2", 2, 8); ("walk_b3", 3, 6) ]
 let par_domains = [ 1; 2; 4 ]
 
+(* State-space-compression cells (schema cdse-bench/4): lazy random walks
+   whose executions are all-internal, so the on-the-fly quotient collapses
+   a 2^depth frontier to at most span+1 classes per layer. Each cell
+   records the wall-clock at every compression level at [depth], plus the
+   quotient engine at [2 × depth] — the headline claim is that doubling
+   the depth under `Quotient costs no more than the uncompressed engine at
+   the original depth. (name, span, depth.) *)
+let compress_workloads = [ ("random_walk", 4, 8); ("random_walk_wide", 8, 6) ]
+
 (* ----------------------------------------------------------- counters *)
 
 (* Numeric counter keys of the per-cell "counters" block, in emission
@@ -119,7 +128,8 @@ let measure_macro () =
 
 let measure_par () =
   List.map
-    (fun (name, branching, depth) ->
+    (fun (name, branching, default_depth) ->
+      let depth = Option.value ~default:default_depth !Workbench.par_depth in
       let rng = Rng.make (branching * 1000) in
       let auto =
         Cdse_gen.Random_auto.make ~rng ~name:"walk" ~n_states:8 ~n_actions:branching
@@ -132,8 +142,63 @@ let measure_par () =
             (domains, wall (fun () -> Measure.exec_dist ~memo:true ~domains auto sched ~depth)))
           par_domains
       in
-      (name, depth, times))
+      (* Dispatch overhead of the domains-aware entry point at domains = 1
+         versus the plain sequential call — both run the sequential engine,
+         so this isolates the cost of the parallel plumbing (expected
+         ≈ 1.0; tracked as a regression guard for the work-stealing
+         follow-up). *)
+      let t_plain = wall (fun () -> Measure.exec_dist ~memo:true auto sched ~depth) in
+      let overhead_1 = List.assoc 1 times /. Float.max 1e-9 t_plain in
+      (name, depth, times, overhead_1))
     par_workloads
+
+(* One compression cell: wall-clock per level at [depth], the quotient
+   engine at [2 × depth], and the frontier geometry from two stats runs —
+   [frontier_width_max] from the uncompressed engine ("frontier actually
+   expanded", the historical meaning) and [frontier_width_compressed] /
+   [quotient_classes] / [mass_merged] from the quotient engine. *)
+let measure_compress () =
+  List.map
+    (fun (name, span, depth) ->
+      let auto = Cdse_gen.Workloads.random_walk ~span "w" in
+      let sched d = Scheduler.bounded d (Scheduler.uniform auto) in
+      let run ~compress d () =
+        Measure.exec_dist ~memo:true ~compress auto (sched d) ~depth:d
+      in
+      let depth_2x = 2 * depth in
+      let ms_off = wall (run ~compress:`Off depth) in
+      let ms_hcons = wall (run ~compress:`Hcons depth) in
+      let ms_quotient = wall (run ~compress:`Quotient depth) in
+      let ms_quotient_2x = wall (run ~compress:`Quotient depth_2x) in
+      let snap_of f =
+        let (), snap = Obs.with_stats (fun () -> ignore (Sys.opaque_identity (f ()))) in
+        snap
+      in
+      let h_max snap key =
+        match List.assoc_opt key snap.Obs.s_histograms with
+        | Some h -> h.Obs.h_max
+        | None -> 0
+      in
+      let off_snap = snap_of (run ~compress:`Off depth) in
+      let q_snap = snap_of (run ~compress:`Quotient depth) in
+      let width_max = h_max off_snap "measure.frontier.width" in
+      let width_compressed = h_max q_snap "measure.frontier.width_compressed" in
+      let classes =
+        Option.value ~default:0 (List.assoc_opt "quotient.classes" q_snap.Obs.s_counters)
+      in
+      let mass_merged =
+        Option.value ~default:"0"
+          (List.assoc_opt "quotient.mass_merged" q_snap.Obs.s_gauges)
+      in
+      ( name,
+        Printf.sprintf
+          "{\"span\": %d, \"depth\": %d, \"depth_2x\": %d, \"ms\": {\"off\": %.4f, \
+           \"hcons\": %.4f, \"quotient\": %.4f, \"quotient_2x\": %.4f}, \
+           \"frontier_width_max\": %d, \"frontier_width_compressed\": %d, \
+           \"quotient_classes\": %d, \"mass_merged\": \"%s\"}"
+          span depth depth_2x ms_off ms_hcons ms_quotient ms_quotient_2x width_max
+          width_compressed classes mass_merged ))
+    compress_workloads
 
 let entry ?(digits = 1) ?(extra = "") baseline current =
   match baseline with
@@ -147,13 +212,14 @@ let entry ?(digits = 1) ?(extra = "") baseline current =
 let emit micro_rows =
   let macro = measure_macro () in
   let par = measure_par () in
+  let compress = measure_compress () in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cdse-bench/3\",\n";
+  add "  \"schema\": \"cdse-bench/4\",\n";
   add "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
   add
-    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\"},\n";
+    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\", \"exec_dist_compress\": \"ms/op wall-clock\"},\n";
   add "  \"micro\": {\n";
   List.iteri
     (fun i (name, current) ->
@@ -179,25 +245,35 @@ let emit micro_rows =
   add "  },\n";
   add "  \"exec_dist_domains\": {\n";
   List.iteri
-    (fun i (name, depth, times) ->
+    (fun i (name, depth, times, overhead_1) ->
       let ms_of d = List.assoc d times in
       let t1 = ms_of 1 in
-      add "    \"%s\": {\"depth\": %d, \"ms\": {%s}, \"speedup_2\": %.2f, \"speedup_4\": %.2f}%s\n"
+      add
+        "    \"%s\": {\"depth\": %d, \"ms\": {%s}, \"speedup_2\": %.2f, \"speedup_4\": %.2f, \"overhead_1\": %.3f}%s\n"
         name depth
         (String.concat ", "
            (List.map (fun (d, t) -> Printf.sprintf "\"%d\": %.4f" d t) times))
         (t1 /. Float.max 1e-9 (ms_of 2))
         (t1 /. Float.max 1e-9 (ms_of 4))
+        overhead_1
         (if i < List.length par - 1 then "," else ""))
     par;
+  add "  },\n";
+  add "  \"exec_dist_compress\": {\n";
+  List.iteri
+    (fun i (name, cell) ->
+      add "    \"%s\": %s%s\n" name cell
+        (if i < List.length compress - 1 then "," else ""))
+    compress;
   add "  }\n";
   add "}\n";
   let oc = open_out "BENCH_cdse.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf
-    "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6, %d domain-scaling cells)\n%!"
+    "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6, %d domain-scaling cells, %d compression cells)\n%!"
     (List.length micro_rows) (List.length macro) (List.length par)
+    (List.length compress)
 
 (* ----------------------------------------------------- stable-key check *)
 
@@ -337,8 +413,8 @@ let check ?(path = "BENCH_cdse.json") () =
     | _ -> fail "top level is not an object"
   in
   (match List.assoc_opt "schema" fields with
-  | Some (Jstr "cdse-bench/3") -> ()
-  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/3\"" other
+  | Some (Jstr "cdse-bench/4") -> ()
+  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/4\"" other
   | _ -> fail "missing string key \"schema\"");
   List.iter
     (fun k -> if not (List.mem_assoc k fields) then fail "missing key %S" k)
@@ -441,10 +517,53 @@ let check ?(path = "BENCH_cdse.json") () =
               match List.assoc_opt k cell with
               | Some (Jnum _) -> ()
               | _ -> fail "%s: missing numeric field %S" ctx k)
-            [ "speedup_2"; "speedup_4" ]
+            [ "speedup_2"; "speedup_4"; "overhead_1" ]
       | _ -> fail "exec_dist_domains: stable workload %S missing" name)
     par_workloads;
+  (* Schema 4: state-space-compression cells. Structural validation plus
+     the one timing-independent invariant — the quotient frontier can
+     never be wider than the uncompressed one. *)
+  let compress_block = objf "exec_dist_compress" in
+  List.iter
+    (fun (name, _, _) ->
+      let ctx = "exec_dist_compress." ^ name in
+      match List.assoc_opt name compress_block with
+      | Some (Jobj cell) ->
+          let num k =
+            match List.assoc_opt k cell with
+            | Some (Jnum v) -> v
+            | _ -> fail "%s: missing numeric field %S" ctx k
+          in
+          List.iter (fun k -> ignore (num k))
+            [ "span"; "depth"; "depth_2x"; "quotient_classes" ];
+          if num "depth_2x" < 2.0 *. num "depth" then
+            fail "%s: depth_2x < 2 x depth" ctx;
+          (match List.assoc_opt "ms" cell with
+          | Some (Jobj ms) ->
+              List.iter
+                (fun level ->
+                  match List.assoc_opt level ms with
+                  | Some (Jnum t) when t > 0.0 -> ()
+                  | Some (Jnum _) -> fail "%s: ms.%s is not positive" ctx level
+                  | _ -> fail "%s: ms missing level %S" ctx level)
+                [ "off"; "hcons"; "quotient"; "quotient_2x" ]
+          | _ -> fail "%s: missing object field \"ms\"" ctx);
+          let wmax = num "frontier_width_max" in
+          let wc = num "frontier_width_compressed" in
+          if wc > wmax then
+            fail "%s: frontier_width_compressed %.0f > frontier_width_max %.0f" ctx wc
+              wmax;
+          (match List.assoc_opt "mass_merged" cell with
+          | Some (Jstr s) -> (
+              (* Accumulated across layers, so it may exceed 1 — only
+                 nonnegativity and exactness are invariant. *)
+              match Rat.of_string s with
+              | r -> if Rat.sign r < 0 then fail "%s: mass_merged %S is negative" ctx s
+              | exception _ -> fail "%s: mass_merged %S is not an exact rational" ctx s)
+          | _ -> fail "%s: missing string field \"mass_merged\"" ctx)
+      | _ -> fail "exec_dist_compress: stable workload %S missing" name)
+    compress_workloads;
   Printf.printf
-    "check-json: %s OK (schema cdse-bench/3, %d micro keys, %d workloads x %d depths, %d domain-scaling cells, counters validated)\n"
+    "check-json: %s OK (schema cdse-bench/4, %d micro keys, %d workloads x %d depths, %d domain-scaling cells, %d compression cells, counters validated)\n"
     path (List.length micro_baseline) (List.length macro_baseline) (List.length depths)
-    (List.length par_workloads)
+    (List.length par_workloads) (List.length compress_workloads)

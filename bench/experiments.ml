@@ -720,22 +720,31 @@ let e17 () =
 
 let par () =
   let domains = !Workbench.domains in
+  let compress = !Workbench.compress in
   Pretty.section
-    (Printf.sprintf "PAR  multicore exact measure: %d domains, conformance + wall-clock"
-       domains);
+    (Printf.sprintf
+       "PAR  multicore exact measure: %d domains, conformance + wall-clock%s" domains
+       (match compress with
+       | `Off -> ""
+       | `Hcons -> " (compress: hcons)"
+       | `Quotient -> " (compress: quotient)"));
   let ok = ref true in
   let rows =
     List.map
-      (fun (branching, depth) ->
+      (fun (branching, default_depth) ->
+        let depth = Option.value ~default:default_depth !Workbench.par_depth in
         let rng = Rng.make (branching * 1000) in
         let auto =
           Cdse_gen.Random_auto.make ~rng ~name:"walk" ~n_states:8 ~n_actions:branching
             ~branching ()
         in
         let sched = Scheduler.uniform auto in
-        let seq, t1 = wall_it (fun () -> Measure.exec_dist ~memo:true auto sched ~depth) in
+        let seq, t1 =
+          wall_it (fun () -> Measure.exec_dist ~memo:true ~compress auto sched ~depth)
+        in
         let par_d, tn =
-          wall_it (fun () -> Measure.exec_dist ~memo:true ~domains auto sched ~depth)
+          wall_it (fun () ->
+              Measure.exec_dist ~memo:true ~compress ~domains auto sched ~depth)
         in
         ok := !ok && Dist.equal seq par_d;
         [ cell branching; cell depth; cell (Dist.size seq); ms t1; ms tn;

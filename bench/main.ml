@@ -20,15 +20,33 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let stats = List.mem "--stats" args in
   let args = List.filter (fun a -> not (String.equal a "--stats")) args in
-  (* --domains N: domain count for the "par" experiment (default 2). *)
-  let rec extract_domains acc = function
+  (* --domains N: domain count for the "par" experiment (default 2).
+     --depth N: override the per-workload depths of the "par" experiment
+     and the exec_dist_domains bench cells.
+     --compress LEVEL: off | hcons | quotient, applied by the "par"
+     experiment to both the sequential reference and the parallel run. *)
+  let rec extract_flags acc = function
     | "--domains" :: n :: rest ->
         Workbench.domains := max 1 (int_of_string n);
-        List.rev_append acc rest
-    | a :: rest -> extract_domains (a :: acc) rest
+        extract_flags acc rest
+    | "--depth" :: n :: rest ->
+        Workbench.par_depth := Some (max 1 (int_of_string n));
+        extract_flags acc rest
+    | "--compress" :: level :: rest ->
+        (Workbench.compress :=
+           match level with
+           | "off" -> `Off
+           | "hcons" -> `Hcons
+           | "quotient" -> `Quotient
+           | other ->
+               prerr_endline
+                 ("--compress: expected off|hcons|quotient, got " ^ other);
+               exit 2);
+        extract_flags acc rest
+    | a :: rest -> extract_flags (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = extract_domains [] args in
+  let args = extract_flags [] args in
   if List.mem "check-json" args then Bench_json.check ()
   else begin
     let run_micro = args = [] || List.mem "micro" args in

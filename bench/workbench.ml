@@ -17,6 +17,16 @@ let wall_it f =
    bench/main.ml's --domains flag. *)
 let domains = ref 2
 
+(* Depth override for the "par" experiment and the exec_dist_domains
+   bench cells; [None] keeps each workload's recorded default. Set by
+   --depth. *)
+let par_depth : int option ref = ref None
+
+(* State-space compression level applied by the "par" experiment (both
+   the sequential reference and the parallel run, so the conformance
+   check stays meaningful). Set by --compress. *)
+let compress : [ `Off | `Hcons | `Quotient ] ref = ref `Off
+
 let ms t = Printf.sprintf "%.2f" (t *. 1000.)
 
 let verdict ok = if ok then "PASS" else "FAIL"

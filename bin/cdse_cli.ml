@@ -85,6 +85,17 @@ let domains_arg =
     & info [ "domains" ] ~docv:"N"
         ~doc:"Expand the cone across $(docv) OCaml domains (bit-identical results)")
 
+let compress_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", `Off); ("hcons", `Hcons); ("quotient", `Quotient) ]) `Off
+    & info [ "compress" ] ~docv:"LEVEL"
+        ~doc:
+          "State-space compression: off (historical engine), hcons \
+           (hash-consed states, identical results) or quotient (on-the-fly \
+           bisimulation quotient of each frontier layer; trace-exact, \
+           compressed execution support)")
+
 let measure_cmd =
   let workload =
     Arg.(
@@ -98,7 +109,7 @@ let measure_cmd =
       & opt (enum [ ("first", `First); ("uniform", `Uniform); ("round-robin", `Rr) ]) `Uniform
       & info [ "sched" ] ~docv:"S" ~doc:"Scheduler: first, uniform or round-robin")
   in
-  let run workload sched_kind depth seed domains stats =
+  let run workload sched_kind depth seed domains compress stats =
     let auto =
       match workload with
       | `Coin -> Cdse_gen.Workloads.coin "coin"
@@ -116,7 +127,8 @@ let measure_cmd =
     in
     let d =
       run_with_stats stats (fun () ->
-          Measure.exec_dist ~domains auto (Scheduler.bounded depth sched) ~depth)
+          Measure.exec_dist ~domains ~compress auto (Scheduler.bounded depth sched)
+            ~depth)
     in
     Format.printf "%d completed executions, total mass %s@." (Dist.size d)
       (Rat.to_string (Dist.mass d));
@@ -129,7 +141,9 @@ let measure_cmd =
   in
   Cmd.v
     (Cmd.info "measure" ~doc:"Exact execution measure of a workload under a scheduler")
-    Term.(const run $ workload $ sched_kind $ depth_arg $ seed_arg $ domains_arg $ stats_arg)
+    Term.(
+      const run $ workload $ sched_kind $ depth_arg $ seed_arg $ domains_arg
+      $ compress_arg $ stats_arg)
 
 (* ---------------------------------------------------------------- emulate *)
 

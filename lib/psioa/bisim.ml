@@ -30,9 +30,16 @@ end)
 
 let run ?(max_states = 2000) ?(label = default_label) a b =
   let explore side auto =
-    let states = Psioa.reachable ~max_states:(max_states + 1) auto in
-    if List.length states > max_states then
-      invalid_arg "Bisim: state space exceeds max_states; result would be unsound";
+    (* Stop at the cap and test the truncation flag instead of exploring
+       [max_states + 1] states just to notice the overflow; the error
+       names the automaton and the limit so the caller knows which side
+       blew up and what to raise. *)
+    let states, truncated = Psioa.reachable_trunc ~max_states auto in
+    if truncated then
+      invalid_arg
+        (Printf.sprintf
+           "Bisim: automaton %S has more than %d reachable states (max_states); raise ~max_states — a partition of a truncated state space would be unsound"
+           (Psioa.name auto) max_states);
     List.map (fun q -> { side; state = q }) states
   in
   let nodes = explore 0 a @ explore 1 b in

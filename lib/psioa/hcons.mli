@@ -1,0 +1,47 @@
+(** Hash-consing of {!Value.t}: canonical, physically-unique representatives.
+
+    [make t v] returns the canonical value structurally equal to [v] in the
+    intern table [t], building it (with maximally shared, already-canonical
+    sub-terms) on first sight. Two interned values are equal iff they are
+    physically equal, so — combined with the [==] fast path in
+    {!Value.compare} — equality checks, {!Exec.compare} on sibling cone
+    executions, and the {!Psioa.memoize} tables all short-circuit in O(1)
+    on interned states. The per-canonical-value hash is computed once at
+    interning time and retrieved by table lookup afterwards ({!hash}), so
+    repeated hashing never re-traverses the term.
+
+    Tables are {b not} domain-safe: like {!Psioa.memoize}, multicore
+    callers (the measure engine under [~compress]) give each worker domain
+    its own table. Physical uniqueness then holds per table — structural
+    equality across tables still works, only without the O(1) fast path.
+
+    {!Cdse_obs.Obs} counters: [hcons.hits] (value already interned) and
+    [hcons.misses] (new canonical node built), counted per {!make} call
+    including the recursive calls on sub-terms. *)
+
+type t
+(** An intern table. *)
+
+val create : ?size:int -> unit -> t
+(** A fresh, empty table ([size] is the initial bucket-count hint). *)
+
+val make : t -> Value.t -> Value.t
+(** The canonical representative of [v] in [t]. Idempotent:
+    [make t (make t v) == make t v], and [make t v == make t w] iff
+    [Value.compare v w = 0]. *)
+
+val hash : t -> Value.t -> int
+(** The hash of [v]'s canonical representative, precomputed at interning
+    time (interns [v] if it has not been seen). Consistent with
+    {!Value.hash} and hence with structural equality. *)
+
+val interned : t -> int
+(** Number of canonical values currently in the table. *)
+
+val auto : t -> Psioa.t -> Psioa.t
+(** Wrap an automaton so every state it emits is interned in [t]: the
+    start state and all transition-target supports are canonical. The
+    result is observationally identical ({!Value.equal}-equal states,
+    identical distributions); only physical sharing changes. Compose with
+    {!Psioa.memoize} {e on top} so the interning cost of a transition is
+    paid once per [(state, action)]. *)

@@ -76,13 +76,18 @@ let memoize a =
   in
   { a with signature; transition }
 
-(* Breadth-first exploration of the support graph, in visit order. *)
-let reachable ?(max_states = 10_000) ?(max_depth = max_int) a =
+(* Breadth-first exploration of the support graph, in visit order. The
+   second component reports whether [max_states] cut the exploration: a
+   state beyond the cap is {e dropped}, never materialised, so callers
+   that need soundness (e.g. {!Bisim}) can detect truncation without the
+   engine ever holding [max_states + 1] states. *)
+let reachable_trunc ?(max_states = 10_000) ?(max_depth = max_int) a =
   let seen = Vtbl.create 64 in
   let queue = Queue.create () in
   Queue.add (a.start, 0) queue;
   Vtbl.add seen a.start ();
   let order = ref [] in
+  let truncated = ref false in
   while not (Queue.is_empty queue) do
     let q, depth = Queue.pop queue in
     order := q :: !order;
@@ -94,14 +99,20 @@ let reachable ?(max_states = 10_000) ?(max_depth = max_int) a =
           | Some d ->
               List.iter
                 (fun q' ->
-                  if (not (Vtbl.mem seen q')) && Vtbl.length seen < max_states then begin
-                    Vtbl.add seen q' ();
-                    Queue.add (q', depth + 1) queue
+                  if not (Vtbl.mem seen q') then begin
+                    if Vtbl.length seen < max_states then begin
+                      Vtbl.add seen q' ();
+                      Queue.add (q', depth + 1) queue
+                    end
+                    else truncated := true
                   end)
                 (Dist.support d))
         (Sigs.all (a.signature q))
   done;
-  List.rev !order
+  (List.rev !order, !truncated)
+
+let reachable ?max_states ?max_depth a =
+  fst (reachable_trunc ?max_states ?max_depth a)
 
 let universal_actions ?max_states ?max_depth a =
   List.fold_left

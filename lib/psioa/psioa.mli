@@ -53,6 +53,13 @@ val reachable : ?max_states:int -> ?max_depth:int -> t -> Value.t list
     Definition 2.2), truncated by the optional limits (defaults: 10_000
     states, unlimited depth). *)
 
+val reachable_trunc :
+  ?max_states:int -> ?max_depth:int -> t -> Value.t list * bool
+(** {!reachable} plus a truncation flag: [true] iff the [max_states] cap
+    dropped at least one unexplored state. Exploration stops {e at} the
+    cap — no state beyond it is ever materialised — so soundness-sensitive
+    callers ({!Bisim}) can reject a truncated state space cheaply. *)
+
 val universal_actions : ?max_states:int -> ?max_depth:int -> t -> Action_set.t
 (** [acts(A)] restricted to the explored states: the union of all state
     signatures. *)

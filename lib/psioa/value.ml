@@ -24,7 +24,13 @@ let ctor_rank = function
   | List _ -> 5
   | Tag _ -> 6
 
+(* Physical equality short-circuits the structural descent: hash-consed
+   values ({!Hcons}) are physically unique, so equal interned values (and
+   shared sub-terms of unequal ones) compare in O(1). Plain values are
+   unaffected beyond the one pointer test. *)
 let rec compare a b =
+  if a == b then 0
+  else
   match (a, b) with
   | Unit, Unit -> 0
   | Bool x, Bool y -> Bool.compare x y
@@ -39,7 +45,7 @@ let rec compare a b =
       if c <> 0 then c else compare v1 v2
   | _ -> Int.compare (ctor_rank a) (ctor_rank b)
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 let hash v = Hashtbl.hash v
 
 open Cdse_util

@@ -2,6 +2,7 @@ open Cdse_prob
 open Cdse_psioa
 
 type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
+type compress = Par_measure.compress
 
 (* The cone-expansion engine itself lives in {!Par_measure}, which owns
    both the sequential path (domains = 1, the historical implementation,
@@ -10,11 +11,17 @@ type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
    the determinism contract). This module keeps the measure-theoretic
    surface: cones, traces, reachability, expectations, sampling. *)
 
-let exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth =
-  Par_measure.exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth
+let exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress ?track auto
+    sched ~depth =
+  Par_measure.exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress
+    ?track auto sched ~depth
 
-let exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth =
-  match exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth with
+let exec_dist ?memo ?max_execs ?max_width ?domains ?compress ?track auto sched
+    ~depth =
+  match
+    exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress ?track auto
+      sched ~depth
+  with
   | `Exact d | `Truncated (d, _) -> d
 
 let cone_prob auto sched alpha =
@@ -39,39 +46,50 @@ let map_budgeted f = function
 
 let trace_of auto = Exec.trace ~sig_of:(Psioa.signature auto)
 
-let trace_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth =
+let trace_dist ?memo ?max_execs ?max_width ?domains ?compress auto sched ~depth =
   Dist.map
     ~compare:(Cdse_util.Order.list Action.compare)
     (trace_of auto)
-    (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
+    (exec_dist ?memo ?max_execs ?max_width ?domains ?compress auto sched ~depth)
 
-let trace_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth =
+let trace_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress auto sched
+    ~depth =
   map_budgeted
     (Dist.map ~compare:(Cdse_util.Order.list Action.compare) (trace_of auto))
-    (exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth)
+    (exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress auto sched
+       ~depth)
 
-let n_execs ?memo ?max_execs ?max_width ?domains auto sched ~depth =
-  Dist.size (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
+let n_execs ?memo ?max_execs ?max_width ?domains ?compress auto sched ~depth =
+  Dist.size (exec_dist ?memo ?max_execs ?max_width ?domains ?compress auto sched ~depth)
 
 (* Probabilistic reachability: mass of completed executions that visit a
-   state satisfying the predicate within the depth bound. *)
+   state satisfying the predicate within the depth bound. [pred] is passed
+   to the engine as the [?track] refinement, so the quotient never merges a
+   pred-hitting execution with a pred-missing one — the mass below stays
+   exact under every compression level. *)
 let reach_mass ~pred d =
   Dist.fold
     (fun acc e p -> if List.exists pred (Exec.states e) then Rat.add acc p else acc)
     Rat.zero d
 
-let reach_prob ?memo ?max_execs ?max_width ?domains auto sched ~depth ~pred =
-  reach_mass ~pred (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
+let reach_prob ?memo ?max_execs ?max_width ?domains ?compress auto sched ~depth
+    ~pred =
+  reach_mass ~pred
+    (exec_dist ?memo ?max_execs ?max_width ?domains ?compress ~track:pred auto
+       sched ~depth)
 
-let reach_prob_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth ~pred =
+let reach_prob_budgeted ?memo ?max_execs ?max_width ?domains ?compress auto sched
+    ~depth ~pred =
   map_budgeted (reach_mass ~pred)
-    (exec_dist_budgeted ?memo ?max_execs ?max_width ?domains auto sched ~depth)
+    (exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress ~track:pred
+       auto sched ~depth)
 
 (* Expected number of scheduled steps of the completed execution. *)
-let expected_steps ?memo ?max_execs ?max_width ?domains auto sched ~depth =
+let expected_steps ?memo ?max_execs ?max_width ?domains ?compress auto sched
+    ~depth =
   Dist.expect
     (fun e -> Rat.of_int (Exec.length e))
-    (exec_dist ?memo ?max_execs ?max_width ?domains auto sched ~depth)
+    (exec_dist ?memo ?max_execs ?max_width ?domains ?compress auto sched ~depth)
 
 (* Monte-Carlo estimation: drive sampled runs instead of expanding the
    exact cone tree. The estimator trades exactness for scale — the exact

@@ -26,6 +26,35 @@
     Without budgets the computation is untouched — same code path, same
     results, bit for bit.
 
+    {2 State-space compression}
+
+    [?compress] (default [`Off]) trades representation detail for frontier
+    size, without giving up exactness where it matters:
+
+    - [`Off]: the historical engine, byte for byte.
+    - [`Hcons]: hash-consing only. Every reached state is interned in a
+      {!Cdse_psioa.Hcons} table so equality checks, {!Exec.compare} and
+      the memo tables short-circuit on physical identity. The result —
+      distribution, [`Exact]/[`Truncated] tag, deficit — is {b identical}
+      to [`Off].
+    - [`Quotient]: hash-consing {e plus} an on-the-fly
+      probabilistic-bisimulation quotient of each frontier layer
+      ({!Cdse_psioa.Quotient}). Frontier executions with the same
+      (trace, last state) have identical futures under a
+      {!Scheduler.is_memoryless} scheduler, so their exact masses are
+      pooled onto one representative (the {!Exec.compare}-least member).
+      {!trace_dist}, {!reach_prob} (via an internal visited-predicate
+      refinement), {!expected_steps} and the budget deficit are exact; the
+      {e execution-level} support of {!exec_dist} is a compressed
+      representation (one representative per class), so it is not
+      bit-identical to [`Off]. Budgets prune the compressed frontier by
+      the same total order. For history-dependent schedulers the quotient
+      is unsound and the engine silently degrades to [`Hcons].
+
+    Every compression level preserves the cross-domain determinism
+    contract: for a fixed [compress], results are bit-identical for every
+    [?domains] / [?chunk] value.
+
     {2 Parallelism}
 
     [?domains n] (default 1) expands each cone frontier layer across [n]
@@ -43,8 +72,14 @@ type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
     [`Truncated (v, deficit)] when pruning occurred — [deficit] is the
     exact probability mass the budgets discarded. *)
 
+type compress = Par_measure.compress
+(** [`Off | `Hcons | `Quotient] — see the module docs above and
+    {!Par_measure.compress}. *)
+
 val exec_dist :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress -> ?track:(Value.t -> bool) ->
+  Psioa.t -> Scheduler.t -> depth:int ->
   Exec.t Dist.t
 (** Exact distribution over completed executions up to [depth] steps.
     Raises {!Scheduler.Bad_choice} if the scheduler violates the
@@ -57,13 +92,21 @@ val exec_dist :
     keyed by [(length, last state)] instead of being recomputed per
     execution. Observationally identical; caches live only for the call.
 
+    [?compress] selects the state-space compression level (module docs);
+    [?track] refines the [`Quotient] equivalence classes by "has the
+    execution already visited a state satisfying the predicate" — pass it
+    when the caller will fold a visited-state predicate over the result
+    (as {!reach_prob} does internally). Ignored at other levels.
+
     With [?max_execs] / [?max_width] the result may be a sub-distribution
     (truncation deficit silently folded into the distribution's own
     {!Dist.deficit}); use {!exec_dist_budgeted} when the caller must
     distinguish scheduler halting from budget truncation. *)
 
 val exec_dist_budgeted :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress -> ?track:(Value.t -> bool) ->
+  Psioa.t -> Scheduler.t -> depth:int ->
   Exec.t Dist.t budgeted
 (** Like {!exec_dist}, but reports budget truncation explicitly:
     [`Truncated (d, lost)] satisfies [Dist.mass d + Dist.deficit d' + lost]
@@ -76,38 +119,56 @@ val cone_prob : Psioa.t -> Scheduler.t -> Exec.t -> Rat.t
     transition probabilities along [α]. *)
 
 val trace_dist :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress ->
+  Psioa.t -> Scheduler.t -> depth:int ->
   Action.t list Dist.t
-(** Pushforward of {!exec_dist} through the trace map (Definition 2.2). *)
+(** Pushforward of {!exec_dist} through the trace map (Definition 2.2).
+    Exact at {e every} compression level — the quotient merges only
+    executions with equal traces, so the pushforward is unchanged. *)
 
 val trace_dist_budgeted :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress ->
+  Psioa.t -> Scheduler.t -> depth:int ->
   Action.t list Dist.t budgeted
 (** Budget-aware {!trace_dist}: the pushforward of {!exec_dist_budgeted},
     carrying the truncation deficit through unchanged. *)
 
 val n_execs :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int -> int
-(** Support size of {!exec_dist} — used by the scaling benchmarks (E7). *)
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress ->
+  Psioa.t -> Scheduler.t -> depth:int -> int
+(** Support size of {!exec_dist} — used by the scaling benchmarks (E7).
+    Under [`Quotient] this counts equivalence classes, not raw
+    executions. *)
 
 val reach_prob :
   ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress ->
   Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Cdse_prob.Rat.t
 (** Exact probability that a completed execution visits a state satisfying
-    [pred] within [depth] steps. Under budgets this is a lower bound. *)
+    [pred] within [depth] steps. Under budgets this is a lower bound.
+    Exact at every compression level: [pred] is forwarded to the engine as
+    the quotient's [?track] refinement, so pred-hitting and pred-missing
+    executions are never merged. *)
 
 val reach_prob_budgeted :
   ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress ->
   Psioa.t -> Scheduler.t -> depth:int -> pred:(Value.t -> bool) -> Rat.t budgeted
 (** Budget-aware reachability: [`Truncated (p, lost)] brackets the true
     probability in [[p, p + lost]] — the deficit mass may or may not have
     reached [pred]. *)
 
 val expected_steps :
-  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int -> Psioa.t -> Scheduler.t -> depth:int ->
+  ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
+  ?compress:compress ->
+  Psioa.t -> Scheduler.t -> depth:int ->
   Cdse_prob.Rat.t
 (** Expected length of the completed execution (exact; under budgets, the
-    expectation over the computed sub-distribution). *)
+    expectation over the computed sub-distribution). Exact at every
+    compression level — merged executions share their length. *)
 
 (** {2 Monte-Carlo estimation}
 

@@ -4,6 +4,8 @@ module Obs = Cdse_obs.Obs
 
 type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
 
+type compress = [ `Off | `Hcons | `Quotient ]
+
 (* Instruments for the budgeted expansion below (shared by name with any
    other reader: registration is idempotent). The frontier-width histogram
    is fed once per layer by the coordinating domain;
@@ -18,6 +20,20 @@ let c_truncated = Obs.counter "measure.truncated"
 let c_choice_hit = Obs.counter "measure.choice.hit"
 let c_choice_miss = Obs.counter "measure.choice.miss"
 let g_deficit = Obs.gauge "measure.truncation_deficit"
+
+(* Compression instruments. [measure.frontier.width_compressed] mirrors
+   [measure.frontier.width] but records the post-quotient width of each
+   layer; [quotient.classes] / [quotient.merged] count the surviving
+   classes and the entries absorbed into another representative across
+   the run; [quotient.mass_merged] is the cumulative exact-rational mass
+   those absorbed entries carried ([Rat.to_string], reparsable). All are
+   coordinator-only — the quotient runs between parallel sections — while
+   [hcons.hits]/[hcons.misses] (registered in {!Cdse_psioa.Hcons}) are
+   worker counters that accumulate through the per-domain shards. *)
+let h_width_c = Obs.histogram "measure.frontier.width_compressed"
+let c_q_classes = Obs.counter "quotient.classes"
+let c_q_merged = Obs.counter "quotient.merged"
+let g_q_mass = Obs.gauge "quotient.mass_merged"
 
 (* ------------------------------------------------------------------ pool *)
 
@@ -153,6 +169,37 @@ let finish alive finished lost =
   let d = Dist.make ~compare:Exec.compare (List.rev_append finished alive) in
   if Rat.is_zero lost then `Exact d else `Truncated (d, lost)
 
+(* Quotient merging is sound exactly when the scheduler's future choices
+   are a function of [(length, last state)] — the {!Scheduler.is_memoryless}
+   promise. With a history-dependent scheduler [`Quotient] silently
+   degrades to [`Hcons] (interning only), which is always sound. *)
+let quotient_on ~compress sched =
+  (match compress with `Quotient -> true | `Off | `Hcons -> false)
+  && Scheduler.is_memoryless sched
+
+(* One layer of on-the-fly quotient: pool probabilistically-bisimilar
+   frontier entries onto their minimal representative before the next
+   expansion. [qmass] accumulates the absorbed mass for the run gauge.
+   Runs on the coordinating domain only (between parallel sections). *)
+let compress_layer ~sig_of ~track ~qmass entries =
+  let classes, merged, mass = Quotient.merge_frontier ~sig_of ?track entries in
+  if not (Rat.is_zero mass) then qmass := Rat.add !qmass mass;
+  if Obs.enabled () then begin
+    Obs.add c_q_classes (List.length classes);
+    Obs.add c_q_merged merged;
+    Obs.observe h_width_c (List.length classes)
+  end;
+  classes
+
+(* The [`Hcons] and [`Quotient] paths route every state the engine sees
+   through an intern table; per engine instance sequentially, per worker
+   domain in the parallel engine (like the memo caches — the tables are
+   plain hashtables). *)
+let wrap_compress ~compress auto =
+  match compress with
+  | `Off -> auto
+  | `Hcons | `Quotient -> Hcons.auto (Hcons.create ()) auto
+
 (* ------------------------------------------------------ sequential engine *)
 
 (* Iteratively expand the cone frontier. [alive] holds executions the
@@ -162,9 +209,14 @@ let finish alive finished lost =
    transition lookups are computed once per [(state, action)] across the
    whole frontier. Both caches are per-call: the results are
    observationally identical, so the flag is purely a performance knob. *)
-let seq_exec_dist_budgeted ~memo ?max_execs ?max_width auto sched ~depth =
+let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sched
+    ~depth =
+  let auto = wrap_compress ~compress auto in
   let auto = if memo then Psioa.memoize auto else auto in
   let choice_of = choice_fn ~memo auto sched in
+  let quotient = quotient_on ~compress sched in
+  let sig_of = Psioa.signature auto in
+  let qmass = ref Rat.zero in
   let rec go step alive n_finished finished lost =
     if step = depth || alive = [] then finish alive finished lost
     else begin
@@ -194,14 +246,21 @@ let seq_exec_dist_budgeted ~memo ?max_execs ?max_width auto sched ~depth =
                 eta)
             choice)
         alive;
+      (* Quotient before the budgets: the frontier the budgets see — and
+         prune, by the same (prob desc, Exec.compare asc) total order — is
+         the compressed one, so compression reduces truncation instead of
+         competing with it. *)
+      let alive' =
+        if quotient then compress_layer ~sig_of ~track ~qmass !alive' else !alive'
+      in
       (* Width budget: prune the frontier to its most probable executions,
          accounting the pruned mass as truncation deficit. *)
       let alive', lost =
         match max_width with
-        | Some w when List.length !alive' > w ->
-            let kept, dropped = truncate_entries ~keep:w !alive' in
+        | Some w when List.length alive' > w ->
+            let kept, dropped = truncate_entries ~keep:w alive' in
             (kept, Rat.add lost dropped)
-        | _ -> (!alive', lost)
+        | _ -> (alive', lost)
       in
       (* Support budget: once completed + frontier executions exceed the
          cap, stop expanding — the surviving frontier is reported as
@@ -213,7 +272,9 @@ let seq_exec_dist_budgeted ~memo ?max_execs ?max_width auto sched ~depth =
       | _ -> go (step + 1) alive' !n_finished' !finished' lost
     end
   in
-  go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] 0 [] Rat.zero
+  let res = go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] 0 [] Rat.zero in
+  if quotient && Obs.enabled () then Obs.set_gauge g_q_mass (Rat.to_string !qmass);
+  res
 
 (* ------------------------------------------------------- parallel engine *)
 
@@ -225,14 +286,23 @@ let seq_exec_dist_budgeted ~memo ?max_execs ?max_width auto sched ~depth =
    coordinator merges slots in index order — so the merged multiset of
    entries, and hence every downstream sort/normalization, is identical to
    the sequential engine's no matter how the OS schedules the domains. *)
-let par_exec_dist_budgeted ~domains ~chunk ~memo ?max_execs ?max_width auto sched ~depth =
+let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
+    ?max_width auto sched ~depth =
   let n_workers = max 2 (min domains 64) in
-  (* Per-domain memoization: [Psioa.memoize] caches are plain hashtables,
-     so each worker gets its own memoized instance (and choice cache) —
-     domain-safe without hot-path locks; lookup totals stay conserved. *)
+  (* Per-domain memoization and interning: [Psioa.memoize] and [Hcons]
+     caches are plain hashtables, so each worker gets its own instances
+     (and choice cache) — domain-safe without hot-path locks; memo lookup
+     totals stay conserved. Physical uniqueness of interned states holds
+     per worker; cross-worker comparisons fall back to the structural
+     path, which stays correct (and still shares intra-worker tails). *)
   let autos =
-    Array.init n_workers (fun _ -> if memo then Psioa.memoize auto else auto)
+    Array.init n_workers (fun _ ->
+        let a = wrap_compress ~compress auto in
+        if memo then Psioa.memoize a else a)
   in
+  let quotient = quotient_on ~compress sched in
+  let sig_of = Psioa.signature autos.(0) in
+  let qmass = ref Rat.zero in
   let choices = Array.map (fun a -> choice_fn ~memo a sched) autos in
   let shards = Array.init n_workers (fun _ -> Obs.new_shard ()) in
   let pool = Pool.create n_workers in
@@ -311,12 +381,19 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ?max_execs ?max_width auto sche
           end;
           alive' := List.rev_append exts.(i) !alive')
         frontier;
+      (* Same placement as the sequential engine: quotient first, budgets
+         on the compressed frontier. The merge itself is insensitive to
+         entry order, so the multicore frontier (assembled in index order
+         but list-reversed per chunk) compresses to the identical classes. *)
+      let alive' =
+        if quotient then compress_layer ~sig_of ~track ~qmass !alive' else !alive'
+      in
       let alive', lost =
         match max_width with
-        | Some w when List.length !alive' > w ->
-            let kept, dropped = truncate_entries ~keep:w !alive' in
+        | Some w when List.length alive' > w ->
+            let kept, dropped = truncate_entries ~keep:w alive' in
             (kept, Rat.add lost dropped)
-        | _ -> (!alive', lost)
+        | _ -> (alive', lost)
       in
       match max_execs with
       | Some cap when !n_finished' + List.length alive' > cap ->
@@ -325,17 +402,27 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ?max_execs ?max_width auto sche
       | _ -> go (step + 1) (Array.of_list alive') !n_finished' !finished' lost
     end
   in
-  go 0 [| (Exec.init (Psioa.start auto), Rat.one) |] 0 [] Rat.zero
+  let res = go 0 [| (Exec.init (Psioa.start auto), Rat.one) |] 0 [] Rat.zero in
+  if quotient && Obs.enabled () then Obs.set_gauge g_q_mass (Rat.to_string !qmass);
+  res
 
 (* ---------------------------------------------------------- entry points *)
 
-let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width ?(domains = 1) ?chunk auto
-    sched ~depth =
-  if domains <= 1 then seq_exec_dist_budgeted ~memo ?max_execs ?max_width auto sched ~depth
-  else par_exec_dist_budgeted ~domains ~chunk ~memo ?max_execs ?max_width auto sched ~depth
+let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width ?(domains = 1) ?chunk
+    ?(compress = `Off) ?track auto sched ~depth =
+  if domains <= 1 then
+    seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sched
+      ~depth
+  else
+    par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
+      ?max_width auto sched ~depth
 
-let exec_dist ?memo ?max_execs ?max_width ?domains ?chunk auto sched ~depth =
-  match exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?chunk auto sched ~depth with
+let exec_dist ?memo ?max_execs ?max_width ?domains ?chunk ?compress ?track auto sched
+    ~depth =
+  match
+    exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?chunk ?compress ?track
+      auto sched ~depth
+  with
   | `Exact d | `Truncated (d, _) -> d
 
 module For_tests = struct

@@ -47,12 +47,36 @@ type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
 (** Same shape as {!Measure.budgeted} (structural, so the two interchange
     freely). *)
 
+type compress = [ `Off | `Hcons | `Quotient ]
+(** State-space compression level (see the {!Measure} docs for the user
+    contract):
+
+    - [`Off] (default): the historical engine, byte for byte.
+    - [`Hcons]: every state is routed through a {!Cdse_psioa.Hcons} intern
+      table (per engine instance; per worker domain when parallel), so
+      state equality, {!Cdse_psioa.Exec.compare} and the memo tables
+      short-circuit on physical equality. Results are identical to
+      [`Off] — same distribution, tag, deficit.
+    - [`Quotient]: [`Hcons] plus an on-the-fly probabilistic-bisimulation
+      quotient of every frontier layer ({!Cdse_psioa.Quotient}): entries
+      with the same (trace, last state) — same future under a
+      {!Scheduler.is_memoryless} scheduler — pool their exact mass onto
+      one representative, so a depth-[d] frontier holds equivalence
+      classes instead of raw executions. Trace-level measures, budget
+      accounting and length expectations are exact; the execution-level
+      support is a compressed representation. Budgets prune the
+      {e compressed} frontier by the same (prob desc, [Exec.compare] asc)
+      total order. For history-dependent schedulers [`Quotient] silently
+      degrades to [`Hcons]. *)
+
 val exec_dist_budgeted :
   ?memo:bool ->
   ?max_execs:int ->
   ?max_width:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?compress:compress ->
+  ?track:(Value.t -> bool) ->
   Psioa.t ->
   Scheduler.t ->
   depth:int ->
@@ -63,7 +87,15 @@ val exec_dist_budgeted :
     returns. [?chunk] overrides the number of frontier entries a worker
     claims per cursor fetch (default: frontier size / (domains × 8),
     at least 1) — a tuning and test knob; any value yields the same
-    result, see the determinism contract above. *)
+    result, see the determinism contract above.
+
+    [?compress] (default [`Off]) selects the state-space compression
+    level; the determinism contract extends to every level — for a fixed
+    [compress], the result is bit-identical across domain counts, chunk
+    sizes and OS schedules. [?track] refines the [`Quotient] classes by
+    "has the execution already visited a state satisfying the predicate",
+    which is what keeps {!Measure.reach_prob} exact under compression;
+    ignored at other levels. *)
 
 val exec_dist :
   ?memo:bool ->
@@ -71,6 +103,8 @@ val exec_dist :
   ?max_width:int ->
   ?domains:int ->
   ?chunk:int ->
+  ?compress:compress ->
+  ?track:(Value.t -> bool) ->
   Psioa.t ->
   Scheduler.t ->
   depth:int ->

@@ -27,6 +27,16 @@ let test_domains =
   | Some n when n > 1 && not (List.mem n base) -> base @ [ n ]
   | _ -> base
 
+(* Compression level threaded through the budgeted / chunk / Obs
+   properties, so a CI leg (CDSE_TEST_COMPRESS=quotient) replays the whole
+   determinism battery on the compressed engine. The main [conforms] check
+   always exercises every level regardless. *)
+let test_compress : Measure.compress =
+  match Sys.getenv_opt "CDSE_TEST_COMPRESS" with
+  | Some "hcons" -> `Hcons
+  | Some "quotient" -> `Quotient
+  | _ -> `Off
+
 (* ------------------------------------------------------------ scenarios *)
 
 (* A conformance case is four small integers; everything else is derived
@@ -71,18 +81,54 @@ let budgeted_equal eq a b =
   | `Truncated (d1, l1), `Truncated (d2, l2) -> eq d1 d2 && Rat.equal l1 l2
   | _ -> false
 
+let trace_push auto d =
+  Dist.map
+    ~compare:(Cdse_util.Order.list Action.compare)
+    (Exec.trace ~sig_of:(Psioa.signature auto))
+    d
+
 (* The full conformance check for one case: oracle vs sequential (plain
-   and memoized) vs every multicore configuration. *)
+   and memoized) vs every multicore configuration, then the compression
+   levels — [`Hcons] must be bit-identical (checked entry by entry, not
+   just [Dist.equal], so a normal-form drift would also be caught);
+   [`Quotient] must agree with the oracle's trace pushforward and preserve
+   the total mass/deficit, and be bit-identical to itself across domain
+   counts. *)
 let conforms case =
   let auto, sched, depth = build case in
   let reference = Oracle.exec_dist auto sched ~depth in
   let seq = Measure.exec_dist auto sched ~depth in
+  let items_identical d1 d2 =
+    let i1 = Dist.items d1 and i2 = Dist.items d2 in
+    List.length i1 = List.length i2
+    && List.for_all2
+         (fun (e, p) (e', p') -> Exec.compare e e' = 0 && Rat.equal p p')
+         i1 i2
+  in
   Dist.equal reference seq
   && Dist.equal seq (Measure.exec_dist ~memo:true auto sched ~depth)
   && List.for_all
        (fun domains ->
          Dist.equal seq (Measure.exec_dist ~domains auto sched ~depth)
          && Dist.equal seq (Measure.exec_dist ~memo:true ~domains auto sched ~depth))
+       test_domains
+  && items_identical seq (Measure.exec_dist ~compress:`Hcons auto sched ~depth)
+  && List.for_all
+       (fun domains ->
+         Dist.equal seq
+           (Measure.exec_dist ~compress:`Hcons ~memo:true ~domains auto sched ~depth))
+       test_domains
+  &&
+  let q = Measure.exec_dist ~compress:`Quotient auto sched ~depth in
+  Dist.equal (trace_push auto reference)
+    (Measure.trace_dist ~compress:`Quotient auto sched ~depth)
+  && Rat.equal (Dist.mass seq) (Dist.mass q)
+  && Rat.equal (Dist.deficit seq) (Dist.deficit q)
+  && List.for_all
+       (fun domains ->
+         items_identical q
+           (Measure.exec_dist ~compress:`Quotient ~memo:true ~domains auto sched
+              ~depth))
        test_domains
 
 let prop_conformance =
@@ -100,8 +146,28 @@ let prop_budgeted_conformance =
       let width = 1 + (case.seed mod 7) in
       let cap = 2 + (case.seed mod 11) in
       let run ?domains () =
-        Measure.exec_dist_budgeted ~max_width:width ~max_execs:cap ?domains auto
-          sched ~depth
+        Measure.exec_dist_budgeted ~compress:test_compress ~max_width:width
+          ~max_execs:cap ?domains auto sched ~depth
+      in
+      let seq = run () in
+      List.for_all
+        (fun domains -> budgeted_equal Dist.equal seq (run ~domains ()))
+        test_domains)
+
+(* The same invariant on the quotient engine unconditionally: at a fixed
+   compression level the budget tag and exact deficit cannot depend on the
+   domain count (the quotient merge happens before the budgets and is
+   permutation-insensitive). *)
+let prop_budgeted_quotient =
+  QCheck.Test.make ~count:60
+    ~name:"quotient: budget tag and deficit identical across domain counts"
+    case_arb
+    (fun case ->
+      let auto, sched, depth = build case in
+      let width = 1 + (case.seed mod 7) in
+      let run ?domains () =
+        Measure.exec_dist_budgeted ~compress:`Quotient ~max_width:width ?domains
+          auto sched ~depth
       in
       let seq = run () in
       List.for_all
@@ -116,10 +182,12 @@ let prop_chunk_independent =
   QCheck.Test.make ~count:50 ~name:"chunk size never changes the result" case_arb
     (fun case ->
       let auto, sched, depth = build case in
-      let seq = Measure.exec_dist auto sched ~depth in
-      Dist.equal seq (Par_measure.exec_dist ~domains:3 ~chunk:1 auto sched ~depth)
+      let compress = test_compress in
+      let seq = Measure.exec_dist ~compress auto sched ~depth in
+      Dist.equal seq
+        (Par_measure.exec_dist ~compress ~domains:3 ~chunk:1 auto sched ~depth)
       && Dist.equal seq
-           (Par_measure.exec_dist ~domains:3 ~chunk:64 auto sched ~depth))
+           (Par_measure.exec_dist ~compress ~domains:3 ~chunk:64 auto sched ~depth))
 
 (* ------------------------------------------------- frontier-order audit *)
 
@@ -165,6 +233,12 @@ let conserved snapshot =
   ( c "measure.layers",
     c "measure.finished",
     c "measure.truncated",
+    (* Conserved at a fixed compression level; the hcons hit/miss split is
+       NOT conserved (per-worker intern tables, like the memo caches) and
+       not even its sum is (interning recurses over structure), so it is
+       deliberately absent here. *)
+    c "quotient.classes",
+    c "quotient.merged",
     sum2 "measure.choice.hit" "measure.choice.miss",
     sum2 "psioa.memo.sig.hit" "psioa.memo.sig.miss",
     sum2 "psioa.memo.step.hit" "psioa.memo.step.miss",
@@ -179,10 +253,83 @@ let prop_obs_conserved =
       let run domains =
         snd
           (Cdse_obs.Obs.with_stats (fun () ->
-               Measure.exec_dist ~memo:true ~domains ~max_width:(2 + (case.seed mod 6))
+               Measure.exec_dist ~memo:true ~compress:test_compress ~domains
+                 ~max_width:(2 + (case.seed mod 6))
                  auto sched ~depth))
       in
       conserved (run 1) = conserved (run 4))
+
+(* ------------------------------------------------- hash-consing audit *)
+
+(* Random value trees, biased toward a small alphabet so structurally
+   equal values are actually generated from distinct seeds and the
+   interning paths (hit, miss, child-sharing) all fire. *)
+let gen_value seed =
+  let rng = Rng.make seed in
+  let rec go fuel =
+    match Rng.int rng (if fuel = 0 then 4 else 7) with
+    | 0 -> Value.unit
+    | 1 -> Value.bool (Rng.bool rng)
+    | 2 -> Value.int (Rng.int rng 5)
+    | 3 -> Value.str (String.make 1 (Char.chr (Char.code 'a' + Rng.int rng 3)))
+    | 4 -> Value.pair (go (fuel - 1)) (go (fuel - 1))
+    | 5 -> Value.list [ go (fuel - 1); go (fuel - 1) ]
+    | _ -> Value.tag "t" (go (fuel - 1))
+  in
+  go 3
+
+let seed_pair_arb = QCheck.(pair (int_bound 100_000) (int_bound 100_000))
+
+(* make is idempotent and semantics-preserving: the canonical
+   representative is structurally equal to the input, and re-interning a
+   canonical value is physically the identity. *)
+let prop_hcons_idempotent =
+  QCheck.Test.make ~count:300 ~name:"hcons: make (make v) == make v, compare = 0"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let t = Hcons.create () in
+      let v = gen_value seed in
+      let c = Hcons.make t v in
+      Hcons.make t c == c && Value.compare c v = 0)
+
+(* Within one table, physical equality of representatives is exactly
+   structural equality of the sources. *)
+let prop_hcons_phys_eq =
+  QCheck.Test.make ~count:300
+    ~name:"hcons: make a == make b iff Value.compare a b = 0" seed_pair_arb
+    (fun (s1, s2) ->
+      let t = Hcons.create () in
+      let a = gen_value s1 and b = gen_value s2 in
+      Hcons.make t a == Hcons.make t b = (Value.compare a b = 0))
+
+(* Exec.compare cannot distinguish an execution built from raw values from
+   one built from their canonical representatives — interning never
+   changes an ordering decision, in either mixed direction. *)
+let prop_hcons_exec_compare =
+  QCheck.Test.make ~count:300 ~name:"hcons: Exec.compare unchanged by interning"
+    seed_pair_arb
+    (fun (s1, s2) ->
+      let t = Hcons.create () in
+      let step = Action.make "step" in
+      let exec_of seed =
+        let rng = Rng.make seed in
+        let e = ref (Exec.init (gen_value (Rng.int rng 100_000))) in
+        for _ = 1 to 1 + Rng.int rng 3 do
+          e := Exec.extend !e step (gen_value (Rng.int rng 100_000))
+        done;
+        !e
+      in
+      let intern e =
+        List.fold_left
+          (fun acc (a, q) -> Exec.extend acc a (Hcons.make t q))
+          (Exec.init (Hcons.make t (Exec.fstate e)))
+          (Exec.steps e)
+      in
+      let e1 = exec_of s1 and e2 = exec_of s2 in
+      let c = Exec.compare e1 e2 in
+      Exec.compare (intern e1) (intern e2) = c
+      && Exec.compare (intern e1) e2 = c
+      && Exec.compare e1 (intern e2) = c)
 
 (* ------------------------------------------------------- corpus replay *)
 
@@ -239,8 +386,15 @@ let () =
         [
           qtest prop_conformance;
           qtest prop_budgeted_conformance;
+          qtest prop_budgeted_quotient;
           qtest prop_chunk_independent;
         ] );
       ( "determinism",
         [ qtest prop_truncate_permutation_invariant; qtest prop_obs_conserved ] );
+      ( "hcons",
+        [
+          qtest prop_hcons_idempotent;
+          qtest prop_hcons_phys_eq;
+          qtest prop_hcons_exec_compare;
+        ] );
     ]

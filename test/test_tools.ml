@@ -95,7 +95,10 @@ let test_bisim_implies_equal_fdist () =
 let test_bisim_truncation_rejected () =
   let k = Fixtures.counter ~bound:100 "k" in
   Alcotest.check_raises "unsound truncation rejected"
-    (Invalid_argument "Bisim: state space exceeds max_states; result would be unsound")
+    (Invalid_argument
+       "Bisim: automaton \"k\" has more than 10 reachable states (max_states); \
+        raise ~max_states \xE2\x80\x94 a partition of a truncated state space \
+        would be unsound")
     (fun () -> ignore (Bisim.bisimilar ~max_states:10 k k))
 
 let test_bisim_classes () =
