@@ -47,6 +47,13 @@ let par_domains = [ 1; 2; 4 ]
    the original depth. (name, span, depth.) *)
 let compress_workloads = [ ("random_walk", 4, 8); ("random_walk_wide", 8, 6) ]
 
+(* Compromise-sweep cells (schema cdse-bench/5): the E18 verdicts at every
+   budget k — exact ≤_SE slack (a rational string) and the holds bit for
+   both swept systems, plus the wall-clock of the two checks. The slack
+   trajectory is part of the recorded contract: 0 strictly below each
+   system's tolerance threshold, the predicted positive rational above. *)
+let compromise_budgets = [ 0; 1; 2; 3 ]
+
 (* ----------------------------------------------------------- counters *)
 
 (* Numeric counter keys of the per-cell "counters" block, in emission
@@ -200,6 +207,21 @@ let measure_compress () =
           width_compressed classes mass_merged ))
     compress_workloads
 
+let measure_compromise () =
+  List.map
+    (fun k ->
+      let t0 = Unix.gettimeofday () in
+      let votp = Experiments.e18_otp Impl.default_engine k in
+      let vcmt = Experiments.e18_committee Impl.default_engine k in
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      ( k,
+        Printf.sprintf
+          "{\"otp_holds\": %b, \"otp_slack\": \"%s\", \"committee_holds\": %b, \
+           \"committee_slack\": \"%s\", \"ms\": %.4f}"
+          votp.Impl.holds (Rat.to_string votp.Impl.worst) vcmt.Impl.holds
+          (Rat.to_string vcmt.Impl.worst) ms ))
+    compromise_budgets
+
 let entry ?(digits = 1) ?(extra = "") baseline current =
   match baseline with
   | Some b ->
@@ -213,13 +235,14 @@ let emit micro_rows =
   let macro = measure_macro () in
   let par = measure_par () in
   let compress = measure_compress () in
+  let compromise = measure_compromise () in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cdse-bench/4\",\n";
+  add "  \"schema\": \"cdse-bench/5\",\n";
   add "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
   add
-    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\", \"exec_dist_compress\": \"ms/op wall-clock\"},\n";
+    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\", \"exec_dist_compress\": \"ms/op wall-clock\", \"compromise_sweep\": \"ms wall-clock, exact rational slacks\"},\n";
   add "  \"micro\": {\n";
   List.iteri
     (fun i (name, current) ->
@@ -265,15 +288,22 @@ let emit micro_rows =
       add "    \"%s\": %s%s\n" name cell
         (if i < List.length compress - 1 then "," else ""))
     compress;
+  add "  },\n";
+  add "  \"compromise_sweep\": {\n";
+  List.iteri
+    (fun i (k, cell) ->
+      add "    \"%d\": %s%s\n" k cell
+        (if i < List.length compromise - 1 then "," else ""))
+    compromise;
   add "  }\n";
   add "}\n";
   let oc = open_out "BENCH_cdse.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf
-    "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6, %d domain-scaling cells, %d compression cells)\n%!"
+    "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6, %d domain-scaling cells, %d compression cells, %d compromise cells)\n%!"
     (List.length micro_rows) (List.length macro) (List.length par)
-    (List.length compress)
+    (List.length compress) (List.length compromise)
 
 (* ----------------------------------------------------- stable-key check *)
 
@@ -413,8 +443,8 @@ let check ?(path = "BENCH_cdse.json") () =
     | _ -> fail "top level is not an object"
   in
   (match List.assoc_opt "schema" fields with
-  | Some (Jstr "cdse-bench/4") -> ()
-  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/4\"" other
+  | Some (Jstr "cdse-bench/5") -> ()
+  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/5\"" other
   | _ -> fail "missing string key \"schema\"");
   List.iter
     (fun k -> if not (List.mem_assoc k fields) then fail "missing key %S" k)
@@ -563,7 +593,57 @@ let check ?(path = "BENCH_cdse.json") () =
           | _ -> fail "%s: missing string field \"mass_merged\"" ctx)
       | _ -> fail "exec_dist_compress: stable workload %S missing" name)
     compress_workloads;
+  (* Schema 5: compromise-sweep cells. The recorded slacks are part of the
+     contract: exact rationals in [0,1], non-decreasing in the budget, and
+     the holds bits flip exactly at each system's tolerance threshold
+     (OTP: 0 takeovers tolerated; 2-of-3 committee: 1). *)
+  let compromise_block = objf "compromise_sweep" in
+  let slack_at k field =
+    let ctx = Printf.sprintf "compromise_sweep.%d" k in
+    match List.assoc_opt (string_of_int k) compromise_block with
+    | Some (Jobj cell) -> (
+        (match List.assoc_opt "ms" cell with
+        | Some (Jnum t) when t > 0.0 -> ()
+        | _ -> fail "%s: missing positive numeric field \"ms\"" ctx);
+        match List.assoc_opt field cell with
+        | Some (Jstr s) -> (
+            match Rat.of_string s with
+            | r ->
+                if not (Rat.is_proper_prob r) then
+                  fail "%s: %s %S is not in [0,1]" ctx field s
+                else r
+            | exception _ -> fail "%s: %s %S is not an exact rational" ctx field s)
+        | _ -> fail "%s: missing string field %S" ctx field)
+    | _ -> fail "compromise_sweep: budget %d missing" k
+  in
+  let holds_at k field =
+    match List.assoc_opt (string_of_int k) compromise_block with
+    | Some (Jobj cell) -> (
+        match List.assoc_opt field cell with
+        | Some (Jbool b) -> b
+        | _ -> fail "compromise_sweep.%d: missing boolean field %S" k field)
+    | _ -> fail "compromise_sweep: budget %d missing" k
+  in
+  List.iter
+    (fun field ->
+      ignore
+        (List.fold_left
+           (fun prev k ->
+             let s = slack_at k field in
+             if Rat.compare s prev < 0 then
+               fail "compromise_sweep: %s decreases at budget %d" field k;
+             s)
+           Rat.zero compromise_budgets))
+    [ "otp_slack"; "committee_slack" ];
+  List.iter
+    (fun k ->
+      if holds_at k "otp_holds" <> (k = 0) then
+        fail "compromise_sweep.%d: otp_holds should flip at the 0-takeover threshold" k;
+      if holds_at k "committee_holds" <> (k <= 1) then
+        fail "compromise_sweep.%d: committee_holds should flip at the 1-takeover threshold" k)
+    compromise_budgets;
   Printf.printf
-    "check-json: %s OK (schema cdse-bench/4, %d micro keys, %d workloads x %d depths, %d domain-scaling cells, %d compression cells, counters validated)\n"
+    "check-json: %s OK (schema cdse-bench/5, %d micro keys, %d workloads x %d depths, %d domain-scaling cells, %d compression cells, %d compromise cells, counters validated)\n"
     path (List.length micro_baseline) (List.length macro_baseline) (List.length depths)
     (List.length par_workloads) (List.length compress_workloads)
+    (List.length compromise_budgets)

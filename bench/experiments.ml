@@ -711,6 +711,246 @@ let e17 () =
     "claim: a 2-of-3 quorum commits surely under any single crash (exact P = 1);\n\
      unanimity already loses liveness at crash budget 1: %s\n" (verdict ok)
 
+(* ----------------------------------------------------------------- E18 *)
+(* Dynamic compromise: Fault.compromise swaps a member's transition
+   function for an adversary-controlled one at a scheduled
+   compromise.<name> action, and Fault.compromise_budget caps how many
+   members the adversary may take over. Two systems, each swept over the
+   budget k: E6's composed OTP channels (2 instances; the compromised
+   behaviour is the key-0 leaky channel, tolerance 0) and E15's
+   3-validator committee with a 2-of-3 quorum (the compromised behaviour
+   is a silenced validator, tolerance 1). The ≤_SE slack must be exactly 0
+   strictly below each tolerance threshold and exactly the predicted
+   positive rational at and above it — and every verdict must be
+   bit-identical across the engine knobs (domains 1/2/4, memoisation,
+   state-space compression). *)
+
+(* "cmt.retire<i>" is chair bookkeeping, not an attack: a first-enabled
+   scheduler would retire the whole committee before the submit arrives
+   (r < s), so the compromise sweeps steer around it. *)
+let is_retire a =
+  let name = Action.name a in
+  String.length name >= 10 && String.equal (String.sub name 0 10) "cmt.retire"
+
+(* The engine-knob grid every verdict is recomputed under. *)
+let e18_engines =
+  [ Impl.default_engine;
+    { Impl.memo = true; domains = 2; compress = `Hcons };
+    { Impl.memo = true; domains = 4; compress = `Quotient } ]
+
+let e18_otp engine k =
+  let names = [ "n0"; "n1" ] in
+  let wrapped n =
+    Fault.compromise
+      ~adversarial:(Structured.psioa (Secure_channel.real_leaky n))
+      (Structured.psioa (Secure_channel.real n))
+  in
+  let inj = Fault.injector ~faults:(List.map Fault.compromise_action names) () in
+  let sys = Compose.parallel (inj :: List.map wrapped names) in
+  let eact q =
+    Action_set.filter
+      (fun a ->
+        let base = Action.name a in
+        List.exists
+          (fun n -> String.equal base (n ^ ".send") || String.equal base (n ^ ".recv"))
+          names)
+      (Sigs.ext (Psioa.signature sys q))
+  in
+  let real = Structured.make sys ~eact in
+  let ideal = Structured.compose (Secure_channel.ideal "n0") (Secure_channel.ideal "n1") in
+  let adv = Compose.parallel (List.map Secure_channel.adversary names) in
+  let sim = Compose.parallel (List.map Secure_channel.simulator names) in
+  let bound = 24 in
+  Emulation.check_engine engine
+    ~schema:(Fault.compromise_budget k)
+    ~insight_of:Insight.accept
+    ~envs:[ Secure_channel.env_guess ~msg:1 "n0" ]
+    ~eps:Rat.zero ~q1:bound ~q2:bound ~depth:(bound + 2) ~adversaries:[ adv ]
+    ~sim_for:(fun _ -> sim) ~real ~ideal
+
+let e18_committee engine k =
+  let nobody =
+    Psioa.make ~name:"nobody" ~start:Value.unit
+      ~signature:(fun _ -> Sigs.empty)
+      ~transition:(fun _ _ -> None)
+  in
+  let cmt =
+    Committee.build ~max_validators:3 ~blocks:1 ~quorum:(`At_least 2)
+      ~wrap_validator:(fun _ v -> Fault.compromise ~adversarial:(Adversary.silent_takeover v) v)
+      "cmt"
+  in
+  let inj =
+    Fault.injector
+      ~faults:
+        (List.init 3 (fun i -> Fault.compromise_action (Committee.validator_name "cmt" i)))
+      ()
+  in
+  let real = Committee.structured_psioa (Compose.pair inj (Pca.psioa cmt)) "cmt" in
+  let ideal = Committee.ideal ~blocks:1 "cmt" in
+  let bound = 20 in
+  let sys_real = Emulation.hidden_system ~max_states:800 ~max_depth:bound real nobody in
+  let sys_ideal = Emulation.hidden_system ~max_states:800 ~max_depth:bound ideal nobody in
+  Impl.approx_le_engine engine
+    ~schema:(Fault.compromise_budget ~avoid:is_retire k)
+    ~insight_of:Insight.accept
+    ~envs:[ Committee.env_commit ~block:0 "cmt" ]
+    ~eps:Rat.zero ~q1:bound ~q2:bound ~depth:(bound + 2) ~a:sys_real ~b:sys_ideal
+
+let e18 () =
+  Pretty.section "E18  dynamic compromise: ≤_SE slack vs k-of-n compromise budget";
+  let ks = match !Workbench.compromise with Some k -> [ k ] | None -> [ 0; 1; 2; 3 ] in
+  let ok = ref true in
+  let agree check =
+    (* Recompute the verdict under every engine configuration: holds AND
+       worst slack must be bit-identical (the Measure determinism
+       contract, here exercised through the budgeted scheduler). *)
+    match List.map check e18_engines with
+    | [] -> assert false
+    | v0 :: rest ->
+        ( v0,
+          List.for_all
+            (fun v -> v.Impl.holds = v0.Impl.holds && Rat.equal v.Impl.worst v0.Impl.worst)
+            rest )
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let (votp, aotp), t = time_it (fun () -> agree (fun e -> e18_otp e k)) in
+        let vcmt, acmt = agree (fun e -> e18_committee e k) in
+        let expected_otp = if k = 0 then "0" else "1/2" in
+        let expected_cmt = if k <= 1 then "0" else "1" in
+        ok :=
+          !ok && aotp && acmt
+          && votp.Impl.holds = (k = 0)
+          && String.equal (Rat.to_string votp.Impl.worst) expected_otp
+          && vcmt.Impl.holds = (k <= 1)
+          && String.equal (Rat.to_string vcmt.Impl.worst) expected_cmt;
+        [ cell k; string_of_bool votp.Impl.holds; Rat.to_string votp.Impl.worst;
+          string_of_bool vcmt.Impl.holds; Rat.to_string vcmt.Impl.worst;
+          (if aotp && acmt then "yes" else "NO"); ms t ])
+      ks
+  in
+  Pretty.table
+    ~header:
+      [ "budget k"; "OTP holds"; "OTP slack"; "committee holds"; "committee slack";
+        "engines agree"; "time(ms)" ]
+    rows;
+  let ok = record_check ~experiment:"E18" !ok in
+  Printf.printf
+    "claim: slack is exactly 0 below the tolerance threshold (OTP: 0 takeovers;\n\
+     2-of-3 committee: 1) and exactly the predicted positive rational above it\n\
+     (1/2 resp. 1), bit-identical across domains ∈ {1,2,4} and compression: %s\n"
+    (verdict ok)
+
+(* ----------------------------------------------------------------- MUT *)
+(* Mutation testing of the emulation checker itself: perturb a member
+   automaton at one co-reachable (state, action) site — drop a transition,
+   redirect an output payload, bias a probability by an exact rational —
+   and demand the checker *kill* the mutant (the slack-0 verdict stops
+   holding). A mutant that survives marks a blind spot of the insight
+   function / scheduler family at that site; the suite requires zero. *)
+
+let mut () =
+  Pretty.section "MUT  mutation testing: the emulation checker kills every mutant";
+  let module Mutate = Cdse_testkit.Mutate in
+  let det = Schema.make ~name:"det" (fun x -> [ Scheduler.first_enabled x ]) in
+  let ok = ref true in
+  (* OTP channel: mutate the real protocol member; the trace insight (not
+     just acceptance) is what kills payload redirects on recv. *)
+  let otp_row =
+    let real_s = Secure_channel.real "n0" in
+    let proto = Structured.psioa real_s in
+    let env = Secure_channel.env_guess ~msg:1 "n0" in
+    let adv = Secure_channel.adversary "n0" in
+    let sim = Secure_channel.simulator "n0" in
+    let ideal = Secure_channel.ideal "n0" in
+    let states =
+      Mutate.co_reachable
+        ~project:(fun q -> Some (fst (Compose.proj_pair (snd (Compose.proj_pair q)))))
+        (Compose.pair env (Compose.pair proto adv))
+    in
+    let muts = Mutate.mutants ~states proto in
+    let bound = 16 in
+    let holds a =
+      (Impl.approx_le ~schema:det ~insight_of:Insight.trace ~envs:[ env ] ~eps:Rat.zero
+         ~q1:bound ~q2:bound ~depth:(bound + 2)
+         ~a:(Emulation.hidden_system a adv)
+         ~b:(Emulation.hidden_system ideal sim))
+        .Impl.holds
+    in
+    let baseline = holds real_s in
+    let rep, t =
+      time_it (fun () ->
+          Mutate.sweep
+            ~killed:(fun m ->
+              not (holds (Structured.make m.Mutate.mutant ~eact:(Structured.eact real_s))))
+            muts)
+    in
+    ok := !ok && baseline && rep.Mutate.survivors = [] && rep.Mutate.total = 8;
+    List.iter
+      (fun m -> Printf.printf "  SURVIVOR (otp): %s\n" m.Mutate.label)
+      rep.Mutate.survivors;
+    [ "otp channel"; string_of_bool baseline; cell rep.Mutate.total; cell rep.Mutate.killed;
+      cell (List.length rep.Mutate.survivors); ms t ]
+  in
+  (* Committee: mutate validator 0 of a 2-validator unanimous committee —
+     both its vote sites are load-bearing, so a dropped or redirected vote
+     must cost the commit. *)
+  let cmt_row =
+    let nobody =
+      Psioa.make ~name:"nobody" ~start:Value.unit
+        ~signature:(fun _ -> Sigs.empty)
+        ~transition:(fun _ _ -> None)
+    in
+    let v0 = Committee.validator ~n:"cmt" ~blocks:1 0 in
+    let site_pca = Committee.build ~max_validators:2 ~blocks:1 "cmt" in
+    let states =
+      Mutate.co_reachable
+        ~project:(fun q ->
+          List.assoc_opt
+            (Committee.validator_name "cmt" 0)
+            (Config.entries (Pca.config_of site_pca (snd (Compose.proj_pair q)))))
+        (Compose.pair (Committee.env_commit ~block:0 "cmt") (Pca.psioa site_pca))
+    in
+    let muts = Mutate.mutants ~states v0 in
+    let ideal = Committee.ideal ~blocks:1 "cmt" in
+    let bound = 14 in
+    let holds mutant =
+      let real =
+        Committee.structured
+          (Committee.build ~max_validators:2 ~blocks:1
+             ~wrap_validator:(fun i v -> if i = 0 then mutant else v)
+             "cmt")
+          "cmt"
+      in
+      (Impl.approx_le
+         ~schema:(Fault.compromise_budget ~avoid:is_retire 0)
+         ~insight_of:Insight.accept
+         ~envs:[ Committee.env_commit ~block:0 "cmt" ]
+         ~eps:Rat.zero ~q1:bound ~q2:bound ~depth:(bound + 2)
+         ~a:(Emulation.hidden_system ~max_states:500 ~max_depth:bound real nobody)
+         ~b:(Emulation.hidden_system ~max_states:500 ~max_depth:bound ideal nobody))
+        .Impl.holds
+    in
+    let baseline = holds v0 in
+    let rep, t =
+      time_it (fun () -> Mutate.sweep ~killed:(fun m -> not (holds m.Mutate.mutant)) muts)
+    in
+    ok := !ok && baseline && rep.Mutate.survivors = [] && rep.Mutate.total = 2;
+    List.iter
+      (fun m -> Printf.printf "  SURVIVOR (committee): %s\n" m.Mutate.label)
+      rep.Mutate.survivors;
+    [ "committee validator"; string_of_bool baseline; cell rep.Mutate.total;
+      cell rep.Mutate.killed; cell (List.length rep.Mutate.survivors); ms t ]
+  in
+  Pretty.table
+    ~header:[ "member"; "baseline holds"; "mutants"; "killed"; "survivors"; "time(ms)" ]
+    [ otp_row; cmt_row ];
+  let ok = record_check ~experiment:"MUT" !ok in
+  Printf.printf
+    "claim: the unmutated members pass at slack 0 and the checker kills every\n\
+     drop/redirect/bias mutant at a co-reachable site (0 survivors): %s\n" (verdict ok)
+
 (* ----------------------------------------------------------------- par *)
 (* Multicore engine smoke: E7's widest workloads expanded sequentially and
    with --domains (default 2) domains. The check is conformance — the
@@ -764,5 +1004,5 @@ let par () =
 
 let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
             ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-            ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("A3", a3);
-            ("par", par) ]
+            ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18);
+            ("MUT", mut); ("A3", a3); ("par", par) ]

@@ -24,13 +24,18 @@ let () =
      --depth N: override the per-workload depths of the "par" experiment
      and the exec_dist_domains bench cells.
      --compress LEVEL: off | hcons | quotient, applied by the "par"
-     experiment to both the sequential reference and the parallel run. *)
+     experiment to both the sequential reference and the parallel run.
+     --compromise K: clamp the E18 compromise-budget sweep to the single
+     budget K (default: sweep k = 0..3). *)
   let rec extract_flags acc = function
     | "--domains" :: n :: rest ->
         Workbench.domains := max 1 (int_of_string n);
         extract_flags acc rest
     | "--depth" :: n :: rest ->
         Workbench.par_depth := Some (max 1 (int_of_string n));
+        extract_flags acc rest
+    | "--compromise" :: n :: rest ->
+        Workbench.compromise := Some (max 0 (int_of_string n));
         extract_flags acc rest
     | "--compress" :: level :: rest ->
         (Workbench.compress :=

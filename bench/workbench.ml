@@ -27,6 +27,11 @@ let par_depth : int option ref = ref None
    check stays meaningful). Set by --compress. *)
 let compress : [ `Off | `Hcons | `Quotient ] ref = ref `Off
 
+(* Compromise-budget override for the E18 sweep: [Some k] clamps the
+   sweep to that single budget (the CI smoke runs one cell), [None]
+   sweeps k = 0..3. Set by --compromise. *)
+let compromise : int option ref = ref None
+
 let ms t = Printf.sprintf "%.2f" (t *. 1000.)
 
 let verdict ok = if ok then "PASS" else "FAIL"

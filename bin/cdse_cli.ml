@@ -162,9 +162,49 @@ let emulate_cmd =
   let broken =
     Arg.(value & flag & info [ "broken" ] ~doc:"Use the broken real protocol (expected to fail)")
   in
-  let run protocol broken =
+  let compromise =
+    Arg.(
+      value & opt (some int) None
+      & info [ "compromise" ] ~docv:"K"
+          ~doc:
+            "Channel only: wrap the real channel with a mid-run adversarial \
+             takeover (the compromised channel leaks the plaintext) and check \
+             emulation under a budget of $(docv) takeovers. Expected to hold \
+             iff $(docv) = 0.")
+  in
+  let run protocol broken compromise =
+    match (compromise, protocol) with
+    | Some _, (`Coin | `Share | `Broadcast) ->
+        Format.eprintf "error: --compromise applies to --protocol channel only@.";
+        2
+    | _ ->
     let v =
       match protocol with
+      | `Channel when compromise <> None ->
+          let k = Option.get compromise in
+          let base = if broken then Secure_channel.real_leaky "sc" else Secure_channel.real "sc" in
+          let wrapped =
+            Fault.compromise
+              ~adversarial:(Structured.psioa (Secure_channel.real_leaky "sc"))
+              (Structured.psioa base)
+          in
+          let inj = Fault.injector ~faults:[ Fault.compromise_action "sc" ] () in
+          let sys = Compose.pair inj wrapped in
+          let eact q =
+            Action_set.filter
+              (fun a ->
+                let b = Action.name a in
+                String.equal b "sc.send" || String.equal b "sc.recv")
+              (Sigs.ext (Psioa.signature sys q))
+          in
+          Emulation.check
+            ~schema:(Fault.compromise_budget k)
+            ~insight_of:Insight.accept
+            ~envs:[ Secure_channel.env_guess ~msg:1 "sc" ]
+            ~eps:Rat.zero ~q1:14 ~q2:14 ~depth:16
+            ~adversaries:[ Secure_channel.adversary "sc" ]
+            ~sim_for:(fun _ -> Secure_channel.simulator "sc")
+            ~real:(Structured.make sys ~eact) ~ideal:(Secure_channel.ideal "sc")
       | `Channel ->
           let real = if broken then Secure_channel.real_leaky "sc" else Secure_channel.real "sc" in
           Emulation.check
@@ -204,14 +244,20 @@ let emulate_cmd =
             ~sim_for:(fun _ -> Broadcast.simulator ~k "bc")
             ~real:(Broadcast.real ~k "bc") ~ideal:(Broadcast.ideal ~k "bc")
     in
+    (match compromise with
+    | Some k -> Format.printf "compromise budget: %d takeover%s@." k (if k = 1 then "" else "s")
+    | None -> ());
     Format.printf "secure emulation holds: %b (worst distance %s)@." v.Impl.holds
       (Rat.to_string v.Impl.worst);
     List.iter (fun (s, d) -> Format.printf "  %s -> %s@." s (Rat.to_string d)) v.Impl.detail;
-    exit_flag (v.Impl.holds = not broken)
+    let expected =
+      (not broken) && match compromise with Some k -> k = 0 | None -> true
+    in
+    exit_flag (v.Impl.holds = expected)
   in
   Cmd.v
     (Cmd.info "emulate" ~doc:"Check dynamic secure emulation (Definition 4.26)")
-    Term.(const run $ protocol $ broken)
+    Term.(const run $ protocol $ broken $ compromise)
 
 (* --------------------------------------------------------------------- d1 *)
 

@@ -166,11 +166,16 @@ let chair ?(quorum = `All) ~n ~max_validators ~blocks () =
 
 (* ------------------------------------------------------------------ PCA *)
 
-let build ?(max_validators = 3) ?(blocks = 2) ?quorum n =
+let build ?(max_validators = 3) ?(blocks = 2) ?quorum ?(wrap_validator = fun _ v -> v) n =
+  (* The registry and the [created] mapping key members by name, so a
+     wrapped validator (e.g. [Fault.compromise]) is renamed back to its
+     canonical [validator_name] — wrappers change behaviour, not identity. *)
+  let member i =
+    Psioa.rename_auto (validator_name n i) (wrap_validator i (validator ~n ~blocks i))
+  in
   let registry =
     Registry.of_list
-      (chair ?quorum ~n ~max_validators ~blocks ()
-      :: List.init max_validators (validator ~n ~blocks))
+      (chair ?quorum ~n ~max_validators ~blocks () :: List.init max_validators member)
   in
   let created _config a =
     (* addᵢ creates validator i. *)
@@ -212,16 +217,18 @@ let committed pca q =
 
 (* ---------------------------------------------- structured view & ideal *)
 
-let structured pca n =
+let structured_psioa auto n =
   let eact q =
-    let ext = Sigs.ext (Psioa.signature (Pca.psioa pca) q) in
+    let ext = Sigs.ext (Psioa.signature auto q) in
     Action_set.filter
       (fun a ->
         let base = Cdse_psioa.Action.name a in
         String.equal base (n ^ ".submit") || String.equal base (n ^ ".commit"))
       ext
   in
-  Cdse_secure.Structured.make (Pca.psioa pca) ~eact
+  Cdse_secure.Structured.make auto ~eact
+
+let structured pca n = structured_psioa (Pca.psioa pca) n
 
 let ideal ?(blocks = 2) n =
   let idle = Value.tag "ic-idle" Value.unit in

@@ -33,7 +33,19 @@ val crash : string -> int -> Action.t
 (** [crash n i]: validator [i] fails (destroyed without the chair's
     knowledge) — a free input the fault model injects. *)
 
-val build : ?max_validators:int -> ?blocks:int -> ?quorum:[ `All | `At_least of int ] -> string -> Pca.t
+val validator : n:string -> blocks:int -> int -> Psioa.t
+(** The bare validator automaton [i] of instance [n] (exactly what
+    {!build} registers): [idle → (propose b) → voting b → (vote) → idle],
+    destroyed by [retire]/[crash]. Exposed so fault harnesses can wrap or
+    mutate a member and re-register it via [?wrap_validator]. *)
+
+val build :
+  ?max_validators:int ->
+  ?blocks:int ->
+  ?quorum:[ `All | `At_least of int ] ->
+  ?wrap_validator:(int -> Psioa.t -> Psioa.t) ->
+  string ->
+  Pca.t
 (** The committee PCA: chair + dynamically created validators. The chair
     only reconfigures while idle, so a proposal always reaches a stable
     membership. [quorum] selects unanimity (default) or a crash-tolerant
@@ -50,7 +62,13 @@ val build : ?max_validators:int -> ?blocks:int -> ?quorum:[ `All | `At_least of 
     still reach [t] and commit probability stays 1. The regression test
     [fault-tolerance] in [test/test_dynamic.ml] pins both behaviours as
     exact reachability probabilities (via [Fault.injector] +
-    [Fault.budget]), and experiment E17 sweeps the crash budget. *)
+    [Fault.budget]), and experiment E17 sweeps the crash budget.
+
+    [wrap_validator i v] (default: identity) transforms validator [i]
+    before registration — the hook dynamic-compromise harnesses use to
+    wrap members with [Fault.compromise] or splice in a mutant. The
+    wrapped automaton is renamed back to {!validator_name}[ n i], since
+    the registry and the [created] mapping key members by name. *)
 
 val members : Pca.t -> Value.t -> int list
 (** Validator indices the chair currently counts as members. *)
@@ -73,6 +91,13 @@ val collecting : Pca.t -> Value.t -> (int * int list) option
 
 val structured : Pca.t -> string -> Cdse_secure.Structured.t
 (** Structured view of a committee PCA for instance name [n]. *)
+
+val structured_psioa : Psioa.t -> string -> Cdse_secure.Structured.t
+(** Structured view of an arbitrary composite containing instance [n] —
+    e.g. the committee composed with a {!Cdse_fault.Fault.injector} of
+    compromise actions: [submit]/[commit] stay environment actions, every
+    other external action (adds, retires, votes, compromises) is the
+    adversary surface. *)
 
 val ideal : ?blocks:int -> string -> Cdse_secure.Structured.t
 (** Atomic-commit functionality: [submit(b)] then [commit(b)], no

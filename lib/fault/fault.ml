@@ -14,14 +14,19 @@ let c_dup = Obs.counter "fault.dup"
 let c_skip = Obs.counter "fault.skip"
 let c_injected = Obs.counter "fault.injected"
 let c_budget_halt = Obs.counter "fault.budget.halt"
+let c_compromise = Obs.counter "fault.compromise"
+let c_restore = Obs.counter "fault.restore"
 
 (* Wrapped states are tagged so fault wrappers nest and never collide with
    the wrapped automaton's own state space. *)
 let live_tag = "fault-live"
 let dead_tag = "fault-dead"
+let evil_tag = "fault-evil"
 
 let crash_action n = Action.make (n ^ ".crash")
 let recover_action n = Action.make (n ^ ".recover")
+let compromise_action n = Action.make (n ^ ".compromise")
+let restore_action n = Action.make (n ^ ".restore")
 
 (* ------------------------------------------------------------- crashes *)
 
@@ -84,6 +89,77 @@ let crash_recover ?crash ?recover ?reboot auto =
   let recover = match recover with Some a -> a | None -> recover_action (Psioa.name auto) in
   let reboot = match reboot with Some f -> f | None -> fun _ -> Psioa.start auto in
   crash_wrap ~suffix:"+crash-recover" ~crash ~revive:(Some (recover, reboot)) auto
+
+(* ---------------------------------------------------------- compromise *)
+
+(* Dynamic compromise: a member that turns adversarial mid-run. Honest
+   states delegate to [auto] and additionally accept the compromise input;
+   firing it hands the {e same} underlying state to [adversarial], whose
+   transition function takes over until a restore input hands it back.
+   Both automata must share a state space (the adversarial behaviour is a
+   reinterpretation of the member, not a different machine), so the swap
+   is the identity on states and Definition 2.1's per-state signature
+   discipline is preserved on both sides of the takeover.
+
+   Signature-emptiness is preserved in both modes: a destroyed member
+   (empty signature) offers neither the compromise nor the restore input,
+   so configuration reduction (Definition 2.12) and the zero-compromise
+   trace equivalence of the wrapper are unaffected. *)
+let compromise ?compromise ?restore ~adversarial auto =
+  let comp_act =
+    match compromise with Some a -> a | None -> compromise_action (Psioa.name auto)
+  in
+  let rest_act =
+    match restore with Some a -> a | None -> restore_action (Psioa.name auto)
+  in
+  let live q = Value.tag live_tag q in
+  let evil q = Value.tag evil_tag q in
+  let signature q =
+    match q with
+    | Value.Tag (t, q0) when String.equal t live_tag ->
+        let s = Psioa.signature auto q0 in
+        if Sigs.is_empty s then Sigs.empty
+        else
+          Sigs.make
+            ~input:(Action_set.add comp_act (Sigs.input s))
+            ~output:(Sigs.output s) ~internal:(Sigs.internal s)
+    | Value.Tag (t, q0) when String.equal t evil_tag ->
+        let s = Psioa.signature adversarial q0 in
+        if Sigs.is_empty s then Sigs.empty
+        else
+          Sigs.make
+            ~input:(Action_set.add rest_act (Sigs.input s))
+            ~output:(Sigs.output s) ~internal:(Sigs.internal s)
+    | _ -> Sigs.empty
+  in
+  let transition q a =
+    match q with
+    | Value.Tag (t, q0) when String.equal t live_tag ->
+        if Action.equal a comp_act then
+          if Sigs.is_empty (Psioa.signature auto q0) then None
+          else begin
+            Obs.incr c_compromise;
+            Some (Vdist.dirac (evil q0))
+          end
+        else Option.map (Vdist.map live) (Psioa.transition auto q0 a)
+    | Value.Tag (t, q0) when String.equal t evil_tag ->
+        if Action.equal a rest_act then
+          if Sigs.is_empty (Psioa.signature adversarial q0) then None
+          else begin
+            Obs.incr c_restore;
+            Some (Vdist.dirac (live q0))
+          end
+        else Option.map (Vdist.map evil) (Psioa.transition adversarial q0 a)
+    | _ -> None
+  in
+  Psioa.make
+    ~name:(Psioa.name auto ^ "+compromise")
+    ~start:(live (Psioa.start auto))
+    ~signature ~transition
+
+let is_compromised = function
+  | Value.Tag (t, q0) when String.equal t evil_tag -> Some q0
+  | _ -> None
 
 (* ------------------------------------------------------------ channels *)
 
@@ -216,7 +292,7 @@ let injector ?(name = "fault-injector") ?(each = 1) ~faults () =
 
 (* ------------------------------------------------------------- budgets *)
 
-type kind = Crash | Recover | Drop | Dup | Skip
+type kind = Crash | Recover | Drop | Dup | Skip | Compromise | Restore
 
 let kind_name = function
   | Crash -> "crash"
@@ -224,14 +300,16 @@ let kind_name = function
   | Drop -> "drop"
   | Dup -> "dup"
   | Skip -> "skip"
+  | Compromise -> "compromise"
+  | Restore -> "restore"
 
 (* Structural classification on the final dotted component of the action
-   name. Crash/recover actions carry an optional numeric instance index
-   ([n.crash], [n.crash3] — the committee names its crash inputs that way),
-   channel faults never do. The component must match exactly apart from
-   that index: [report.crash_count] (stem [crash_count]) and [x.recovery]
-   (stem [recovery]) are not faults, and neither is an undotted name like
-   [dropout]. *)
+   name. Crash/recover/compromise/restore actions carry an optional numeric
+   instance index ([n.crash], [n.crash3] — the committee names its crash
+   inputs that way), channel faults never do. The component must match
+   exactly apart from that index: [report.crash_count] (stem
+   [crash_count]), [x.recovery], [sys.compromised] and [cfg.restore_keys]
+   are not faults, and neither is an undotted name like [dropout]. *)
 let fault_kind a =
   let n = Action.name a in
   match String.rindex_opt n '.' with
@@ -249,12 +327,16 @@ let fault_kind a =
       in
       if stem_with_index "crash" then Some Crash
       else if stem_with_index "recover" then Some Recover
+      else if stem_with_index "compromise" then Some Compromise
+      else if stem_with_index "restore" then Some Restore
       else if String.equal last "drop" then Some Drop
       else if String.equal last "dup" then Some Dup
       else if String.equal last "skip" then Some Skip
       else None
 
 let default_is_fault a = fault_kind a <> None
+
+let is_compromise a = fault_kind a = Some Compromise
 
 (* The pre-structural heuristic, kept reachable for callers that relied on
    substring matching (e.g. fault actions buried mid-name by a later
@@ -310,3 +392,24 @@ let budget ?is_fault k schema =
   Schema.make
     ~name:(Printf.sprintf "fault-budget[%d] %s" k schema.Schema.name)
     (fun a -> List.map (budget_sched ?is_fault k) (Schema.instantiate schema a))
+
+(* [budget_sched] conditions the wrapped scheduler's choice {e after} it is
+   made, which is right for randomized schedulers but degenerate for
+   deterministic ones: a dirac on a spent fault filters to the empty
+   choice and the run halts even though non-fault actions were enabled.
+   [budget_first_enabled] instead folds the budget into the pick itself —
+   the least enabled action that is not a spent fault — so deterministic
+   budget sweeps (experiment E18) degrade gracefully: below budget it
+   coincides with [first_enabled]; at budget it behaves as first_enabled
+   of the fault-free protocol. *)
+let budget_first_enabled ?(is_fault = default_is_fault) ?(avoid = fun _ -> false) k auto =
+  Scheduler.first_enabled_where
+    ~name:(Printf.sprintf "budget-first[%d]" k)
+    (fun e a ->
+      (not (avoid a)) && ((not (is_fault a)) || count_faults ~is_fault e < k))
+    auto
+
+let compromise_budget ?avoid k =
+  Schema.make
+    ~name:(Printf.sprintf "compromise-budget[%d]" k)
+    (fun a -> [ budget_first_enabled ~is_fault:is_compromise ?avoid k a ])

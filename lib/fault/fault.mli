@@ -12,6 +12,11 @@
       crash-time signature while its locally controlled actions vanish —
       the signature {e shrinks} exactly as Definition 2.1's state-dependent
       signatures allow, and composition partners stay compatible.
+    - {!compromise} wraps any PSIOA with a mid-run {e takeover}: a
+      scheduled [compromise] input swaps the member's transition function
+      for an adversary-controlled one over the same state space (and
+      [restore] swaps back) — components that turn bad, not merely
+      crash. {!compromise_budget} caps takeovers at k-of-n.
     - {!lossy_channel} / {!dup_channel} / {!delay_channel} interpose an
       adversarial channel PSIOA between two components: the sender's
       outputs are {!Rename}d onto a wire, the channel re-emits them, and
@@ -56,6 +61,48 @@ val crash_recover :
     (default {!recover_action}), returning to [reboot q] where [q] is the
     crash-time state (default: the start state — a reboot loses volatile
     state). *)
+
+(** {2 Dynamic compromise}
+
+    Components that {e turn adversarial mid-run} — the threat model of the
+    dynamic-compromise literature, where a member is not merely crashed
+    but taken over: its transition function is swapped for an
+    adversary-controlled one at a scheduled point, and the protocol must
+    keep emulating its ideal functionality as long as at most [k] of [n]
+    members are compromised. *)
+
+val compromise_action : string -> Action.t
+(** [compromise_action n] is the conventional takeover input
+    [n ^ ".compromise"]. *)
+
+val restore_action : string -> Action.t
+(** [restore_action n] is [n ^ ".restore"]. *)
+
+val compromise :
+  ?compromise:Action.t -> ?restore:Action.t -> adversarial:Psioa.t -> Psioa.t -> Psioa.t
+(** [compromise ~adversarial a] wraps [a] with a mid-run takeover: every
+    honest state gains [compromise] (default {!compromise_action} on the
+    automaton name) as an input; firing it swaps the transition function
+    for [adversarial]'s {e at the same underlying state}, and the evil
+    states accept [restore] to swap back. [adversarial] must share [a]'s
+    state space (it is an adversarial reinterpretation of the member —
+    e.g. a leaky cipher over the honest protocol's states, or
+    {!Cdse_secure.Adversary.silent_takeover}[ a]); the swap is then the
+    identity on states and signatures stay per-state disciplined
+    (Definition 2.1), so composition, [hidden_system] and
+    [Emulation.check] apply unchanged.
+
+    Signature emptiness is preserved in both modes: a destroyed member
+    offers neither extra input, so PCA configuration reduction still
+    removes it, and with zero compromises injected the wrapper is
+    trace-equivalent to [a] (the extra input is free; standard schedulers
+    never fire inputs). Compose with {!injector} over the compromise
+    actions to put takeovers under scheduler control, and meter them with
+    {!compromise_budget}. Raises {!Sigs.Not_disjoint} lazily if an extra
+    input collides with a locally controlled action. *)
+
+val is_compromised : Value.t -> Value.t option
+(** The underlying state if the wrapper state is currently adversarial. *)
 
 (** {2 Channel interposition}
 
@@ -105,7 +152,7 @@ val injector : ?name:string -> ?each:int -> faults:Action.t list -> unit -> Psio
 
 (** {2 Budgets} *)
 
-type kind = Crash | Recover | Drop | Dup | Skip
+type kind = Crash | Recover | Drop | Dup | Skip | Compromise | Restore
 (** The library's fault-action kinds, as counted by the [fault.*]
     observability counters ({!Cdse_obs.Obs}). *)
 
@@ -114,14 +161,21 @@ val kind_name : kind -> string
 
 val fault_kind : Action.t -> kind option
 (** Structural classification of an action name by its final dotted
-    component: [crash]/[recover] with an optional trailing numeric
-    instance index ([n.crash], [n.crash3]), and the exact channel-fault
-    suffixes [drop]/[dup]/[skip]. Names like [report.crash_count],
-    [x.recovery] or [dropout] are {e not} faults. *)
+    component: [crash]/[recover]/[compromise]/[restore] with an optional
+    trailing numeric instance index ([n.crash], [n.crash3]), and the exact
+    channel-fault suffixes [drop]/[dup]/[skip]. Names like
+    [report.crash_count], [x.recovery], [sys.compromised] or [dropout]
+    are {e not} faults. *)
 
 val default_is_fault : Action.t -> bool
 (** [fault_kind a <> None] — the default fault predicate of
     {!count_faults}, {!budget_sched} and {!budget}. *)
+
+val is_compromise : Action.t -> bool
+(** [fault_kind a = Some Compromise] — the predicate metered by
+    {!compromise_budget}. Restores are deliberately {e not} counted: the
+    k-of-n budget caps takeovers, and handing a member back never costs
+    the adversary anything. *)
 
 val substring_is_fault : Action.t -> bool
 (** The pre-structural heuristic (a name {e containing} [".crash"] or
@@ -149,3 +203,24 @@ val budget : ?is_fault:(Action.t -> bool) -> int -> Schema.t -> Schema.t
 (** The schema transformer (Definition 3.2): every scheduler the schema
     produces is wrapped by {!budget_sched}, capping total injected faults
     at [k] across the whole quantification domain. *)
+
+val budget_first_enabled :
+  ?is_fault:(Action.t -> bool) -> ?avoid:(Action.t -> bool) -> int -> Psioa.t -> Scheduler.t
+(** The deterministic budgeted scheduler: the least locally controlled
+    enabled action that is neither in [avoid] (default: nothing) nor a
+    spent fault — a fault action is eligible only while fewer than [k]
+    faults occurred along the history. Unlike {!budget_sched} over
+    {!Scheduler.first_enabled} (whose dirac choice on a spent fault
+    filters to a deliberate halt), the budget participates in the pick
+    itself, so at budget the scheduler continues as first-enabled of the
+    fault-free protocol. [avoid] excludes actions wholesale (e.g. the
+    committee's [retire] outputs, which would otherwise deterministically
+    shrink the membership before any block is submitted). Not memoryless:
+    the choice depends on the history's fault count. *)
+
+val compromise_budget : ?avoid:(Action.t -> bool) -> int -> Schema.t
+(** The k-of-n compromise cap as a one-scheduler schema:
+    [budget_first_enabled ~is_fault:is_compromise k] — at most [k]
+    takeovers ({!is_compromise} actions) along any schedule, restores
+    uncounted. Used by experiment E18 to sweep [k] against a protocol's
+    tolerance threshold. *)

@@ -53,8 +53,9 @@ let print_nth env idx _composite =
       in
       Value.pair (env_state (Exec.fstate e)) (Value.list (go [] (Exec.fstate e) (Exec.steps e))))
 
-let apply insight composite sched ~depth =
-  Dist.map ~compare:Value.compare insight.observe (Measure.exec_dist composite sched ~depth)
+let apply ?memo ?domains ?compress insight composite sched ~depth =
+  Dist.map ~compare:Value.compare insight.observe
+    (Measure.exec_dist ?memo ?domains ?compress composite sched ~depth)
 
 let check_stability ~make_insight ~env ~ctx ~a1 ~a2 ~sched_of ~depth =
   (* Distance when E observes B||Ai, vs when E||B observes Ai. The two

@@ -36,8 +36,13 @@ val print_nth : Psioa.t -> int -> Psioa.t -> t
 (** [print_nth env idx composite]: like {!print_left} for n-ary
     [Compose.parallel] composites with the environment at index [idx]. *)
 
-val apply : t -> Psioa.t -> Scheduler.t -> depth:int -> Value.t Dist.t
-(** [f-dist(σ)] (Definition 3.5): the image of [ε_σ] under the insight. *)
+val apply :
+  ?memo:bool -> ?domains:int -> ?compress:Measure.compress ->
+  t -> Psioa.t -> Scheduler.t -> depth:int -> Value.t Dist.t
+(** [f-dist(σ)] (Definition 3.5): the image of [ε_σ] under the insight.
+    The optional engine knobs are passed through to {!Measure.exec_dist}
+    verbatim and inherit its determinism contract: the image distribution
+    is bit-identical for every [?domains] count and compression level. *)
 
 (** {2 Stability by composition (Definition 3.7)}
 

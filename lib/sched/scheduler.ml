@@ -49,6 +49,21 @@ let first_enabled a =
       | None -> empty_choice
       | Some act -> Dist.dirac ~compare:Action.compare act)
 
+let first_enabled_where ?(name = "first-where") pred a =
+  (* Deterministic like [first_enabled], but the pick is restricted to the
+     pool actions passing [pred e] — the predicate sees the whole history,
+     so the promise of memorylessness is dropped. When the pool is
+     non-empty but fully filtered the scheduler halts deliberately (empty
+     choice, deficit 1), exactly like an exhausted [bounded]. *)
+  make ~memoryless:false ~validated:true
+    ~name:(Printf.sprintf "%s(%s)" name (Psioa.name a))
+    (fun e ->
+      match
+        Action_set.min_elt_opt (Action_set.filter (pred e) (local_pool a e))
+      with
+      | None -> empty_choice
+      | Some act -> Dist.dirac ~compare:Action.compare act)
+
 let round_robin a =
   make ~memoryless:true ~validated:true ~name:(Printf.sprintf "round-robin(%s)" (Psioa.name a)) (fun e ->
       let acts = Action_set.elements (local_pool a e) in

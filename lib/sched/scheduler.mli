@@ -55,6 +55,15 @@ val uniform : Psioa.t -> t
 val first_enabled : Psioa.t -> t
 (** Deterministic: always the least locally controlled enabled action. *)
 
+val first_enabled_where : ?name:string -> (Exec.t -> Action.t -> bool) -> Psioa.t -> t
+(** [first_enabled_where pred a]: deterministic — the least locally
+    controlled enabled action [act] with [pred e act], where [e] is the
+    whole execution so far. Halts (empty choice, deficit 1) when no pool
+    action passes. Because [pred] may inspect the history the scheduler is
+    {e not} memoryless; it is validated (picks from the pool by
+    construction). The predicate-filtered backbone of
+    {!Cdse_fault.Fault.budget_first_enabled}. *)
+
 val round_robin : Psioa.t -> t
 (** Deterministic: at step [i], the [(i mod n)]-th of the [n] locally
     controlled enabled actions. *)

@@ -1,5 +1,38 @@
 open Cdse_psioa
 
+exception
+  Not_adversary of {
+    structured : string;
+    adversary : string;
+    state : Value.t;
+    condition : string;
+    action : Action.t option;
+  }
+
+(* Name both automata, render the offending composite state and — when one
+   exists — the concrete action violating the condition: enough to find
+   the bad signature entry without a debugger (the PR-2 convention of
+   [Psioa.Not_enabled] / [Scheduler.Bad_choice]). *)
+let () =
+  Printexc.register_printer (function
+    | Not_adversary { structured; adversary; state; condition; action } ->
+        Some
+          (Format.asprintf
+             "Adversary.Not_adversary: %S is not an adversary for %S: %s at composite state %a%s"
+             adversary structured condition Value.pp state
+             (match action with
+             | None -> ""
+             | Some a -> Printf.sprintf " (offending action %s)" (Action.to_string a)))
+    | _ -> None)
+
+let violation ~structured ~adv ~state ~condition ~action =
+  Not_adversary
+    { structured = Structured.name structured;
+      adversary = Psioa.name adv;
+      state;
+      condition;
+      action }
+
 let on_composite_states ?max_states ?max_depth ~structured ~adv check =
   let a = Structured.psioa structured in
   let comp = Compose.pair a adv in
@@ -9,25 +42,40 @@ let on_composite_states ?max_states ?max_depth ~structured ~adv check =
       | Error _ -> acc
       | Ok () ->
           let qa, qadv = Compose.proj_pair q in
-          check ~qa ~qadv)
+          check ~q ~qa ~qadv)
     (Ok ())
     (Psioa.reachable ?max_states ?max_depth comp)
 
-let check ?max_states ?max_depth ~structured adv =
-  match Compose.partially_compatible ?max_states ?max_depth [ Structured.psioa structured; adv ] with
-  | false -> Error "adversary not partially compatible with the structured automaton"
-  | true ->
-      on_composite_states ?max_states ?max_depth ~structured ~adv (fun ~qa ~qadv ->
-          let adv_sig = Psioa.signature adv qadv in
-          if not (Action_set.subset (Structured.ai structured qa) (Sigs.output adv_sig)) then
+let check_exn ?max_states ?max_depth ~structured adv =
+  if not (Compose.partially_compatible ?max_states ?max_depth [ Structured.psioa structured; adv ]) then
+    raise
+      (violation ~structured ~adv ~state:(Psioa.start adv)
+         ~condition:"not partially compatible with the structured automaton" ~action:None);
+  match
+    on_composite_states ?max_states ?max_depth ~structured ~adv (fun ~q ~qa ~qadv ->
+        let adv_sig = Psioa.signature adv qadv in
+        let missing = Action_set.diff (Structured.ai structured qa) (Sigs.output adv_sig) in
+        if not (Action_set.is_empty missing) then
+          Error
+            (violation ~structured ~adv ~state:q
+               ~condition:"AI_A ⊄ out(Adv) — an adversary input of the protocol is not driven"
+               ~action:(Action_set.min_elt_opt missing))
+        else
+          let touched = Action_set.inter (Structured.eact structured qa) (Sigs.all adv_sig) in
+          if not (Action_set.is_empty touched) then
             Error
-              (Format.asprintf "state (%a,%a): AI_A ⊄ out(Adv)" Value.pp qa Value.pp qadv)
-          else if
-            not (Action_set.disjoint (Structured.eact structured qa) (Sigs.all adv_sig))
-          then
-            Error
-              (Format.asprintf "state (%a,%a): adversary touches EAct_A" Value.pp qa Value.pp qadv)
+              (violation ~structured ~adv ~state:q
+                 ~condition:"adversary touches EAct_A — an environment action is on its interface"
+                 ~action:(Action_set.min_elt_opt touched))
           else Ok ())
+  with
+  | Ok () -> ()
+  | Error exn -> raise exn
+
+let check ?max_states ?max_depth ~structured adv =
+  match check_exn ?max_states ?max_depth ~structured adv with
+  | () -> Ok ()
+  | exception (Not_adversary _ as exn) -> Error (Printexc.to_string exn)
 
 let is_adversary ?max_states ?max_depth ~structured adv =
   match check ?max_states ?max_depth ~structured adv with Ok () -> true | Error _ -> false
@@ -36,7 +84,7 @@ let full_control ?max_states ?max_depth ~structured adv =
   is_adversary ?max_states ?max_depth ~structured adv
   &&
   match
-    on_composite_states ?max_states ?max_depth ~structured ~adv (fun ~qa ~qadv ->
+    on_composite_states ?max_states ?max_depth ~structured ~adv (fun ~q:_ ~qa ~qadv ->
         if
           Action_set.subset (Structured.ao structured qa)
             (Sigs.input (Psioa.signature adv qadv))
@@ -45,3 +93,30 @@ let full_control ?max_states ?max_depth ~structured adv =
   with
   | Ok () -> true
   | Error _ -> false
+
+(* ------------------------------------------------- adversarial takeover *)
+
+(* The canonical adversarial reinterpretation of a member for
+   [Fault.compromise]: same state space, but every locally controlled
+   action is silenced — the member keeps absorbing its inputs (so
+   composition partners and input-enabledness are untouched, and the state
+   keeps evolving under the protocol's traffic) while contributing nothing
+   of its own. A silently-taken-over committee validator accepts proposals
+   but never votes; combined with a k-of-n budget this is exactly the
+   "at most k members turn bad" threat model. States whose signature was
+   already empty stay empty, preserving PCA destruction. *)
+let silent_takeover auto =
+  let signature q =
+    let s = Psioa.signature auto q in
+    let input = Sigs.input s in
+    if Action_set.is_empty input then Sigs.empty
+    else Sigs.make ~input ~output:Action_set.empty ~internal:Action_set.empty
+  in
+  let transition q a =
+    if Action_set.mem a (Sigs.input (Psioa.signature auto q)) then Psioa.transition auto q a
+    else None
+  in
+  Psioa.make
+    ~name:(Psioa.name auto ^ ".silenced")
+    ~start:(Psioa.start auto)
+    ~signature ~transition

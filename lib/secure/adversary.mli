@@ -8,10 +8,27 @@
 
 open Cdse_psioa
 
+exception
+  Not_adversary of {
+    structured : string;  (** name of the structured automaton *)
+    adversary : string;  (** name of the candidate adversary *)
+    state : Value.t;  (** reachable composite state where the check failed *)
+    condition : string;  (** which Definition 4.24 condition was violated *)
+    action : Action.t option;  (** a concrete offending action, when one exists *)
+  }
+(** Raised by {!check_exn}; a printer is registered, so an uncaught
+    violation renders both automaton names, the composite state and the
+    offending action. *)
+
 val check :
   ?max_states:int -> ?max_depth:int -> structured:Structured.t -> Psioa.t -> (unit, string) result
 (** Verify the two Definition 4.24 conditions on the explored reachable
-    states of [A ‖ Adv]. *)
+    states of [A ‖ Adv]. The [Error] carries the rendered
+    {!Not_adversary} — automaton names, composite state and offending
+    action. *)
+
+val check_exn : ?max_states:int -> ?max_depth:int -> structured:Structured.t -> Psioa.t -> unit
+(** Like {!check} but raises {!Not_adversary} on violation. *)
 
 val is_adversary : ?max_states:int -> ?max_depth:int -> structured:Structured.t -> Psioa.t -> bool
 
@@ -20,3 +37,14 @@ val full_control :
 (** The stronger condition assumed by the dummy-adversary reduction
     (Lemma D.1): additionally every adversary output of [A] is an input of
     [Adv], so all [AAct] traffic flows through the adversary. *)
+
+val silent_takeover : Psioa.t -> Psioa.t
+(** [silent_takeover a]: the adversarial reinterpretation of a member over
+    the {e same} state space in which every locally controlled action is
+    silenced — inputs are still absorbed with [a]'s own transitions (so
+    input-enabledness towards composition partners is preserved and the
+    state keeps tracking the protocol), but the member never outputs or
+    steps internally again. The canonical [~adversarial] argument for
+    [Fault.compromise] when the attack is denial of participation (a
+    taken-over validator that receives proposals but never votes). States
+    with an empty signature stay empty, preserving PCA destruction. *)

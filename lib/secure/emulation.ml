@@ -4,13 +4,34 @@ let hidden_system ?max_states ?max_depth structured adv =
   let aact = Structured.aact_universe ?max_states ?max_depth structured in
   Hide.psioa_const (Compose.pair (Structured.psioa structured) adv) aact
 
-let check ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversaries ~sim_for ~real ~ideal =
+exception
+  Check_failed of {
+    real : string;
+    ideal : string;
+    worst : Cdse_prob.Rat.t;
+    witness : string;
+  }
+
+(* Name both sides and surface the first failing (environment, scheduler)
+   detail line — it carries the matched-scheduler witness and, from
+   [Impl.run], the distinguishing observation with the largest mass gap. *)
+let () =
+  Printexc.register_printer (function
+    | Check_failed { real; ideal; worst; witness } ->
+        Some
+          (Printf.sprintf
+             "Emulation.Check_failed: %S does not securely emulate %S (worst distance %s; %s)"
+             real ideal (Cdse_prob.Rat.to_string worst) witness)
+    | _ -> None)
+
+let check_engine engine ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversaries ~sim_for
+    ~real ~ideal =
   let verdicts =
     List.map
       (fun adv ->
         let sim = sim_for adv in
         let v =
-          Impl.approx_le ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth
+          Impl.approx_le_engine engine ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth
             ~a:(hidden_system real adv) ~b:(hidden_system ideal sim)
         in
         { v with
@@ -19,6 +40,28 @@ let check ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversaries ~sim_for ~r
       adversaries
   in
   Impl.merge_verdicts verdicts
+
+let check ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversaries ~sim_for ~real ~ideal =
+  check_engine Impl.default_engine ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversaries
+    ~sim_for ~real ~ideal
+
+let check_exn ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversaries ~sim_for ~real ~ideal =
+  let v = check ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversaries ~sim_for ~real ~ideal in
+  if v.Impl.holds then v
+  else
+    let witness =
+      match
+        List.find_opt (fun (_, d) -> Cdse_prob.Rat.compare d eps > 0) v.Impl.detail
+      with
+      | Some (s, d) -> Printf.sprintf "%s -> %s" s (Cdse_prob.Rat.to_string d)
+      | None -> "<no failing detail>"
+    in
+    raise
+      (Check_failed
+         { real = Structured.name real;
+           ideal = Structured.name ideal;
+           worst = v.Impl.worst;
+           witness })
 
 type component = {
   real : Structured.t;

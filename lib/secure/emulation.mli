@@ -40,6 +40,54 @@ val check :
     [hide(real ‖ Adv, AAct) ≤ hide(ideal ‖ sim_for Adv, AAct)] with the
     approximate-implementation checker. *)
 
+val check_engine :
+  Impl.engine ->
+  schema:Schema.t ->
+  insight_of:(Psioa.t -> Insight.t) ->
+  envs:Psioa.t list ->
+  eps:Rat.t ->
+  q1:int ->
+  q2:int ->
+  depth:int ->
+  adversaries:Psioa.t list ->
+  sim_for:(Psioa.t -> Psioa.t) ->
+  real:Structured.t ->
+  ideal:Structured.t ->
+  Impl.verdict
+(** {!check} with explicit {!Impl.engine} knobs, threaded through
+    {!Impl.approx_le_engine} to every measure computation; verdicts are
+    bit-identical across domain counts and compression levels. *)
+
+exception
+  Check_failed of {
+    real : string;  (** name of the real structured automaton *)
+    ideal : string;  (** name of the ideal functionality *)
+    worst : Rat.t;  (** worst best-match distance over the verdict *)
+    witness : string;
+        (** first failing detail line: environment, scheduler, matched
+            candidate and (from {!Impl.approx_le}) the distinguishing
+            observation carrying the largest mass gap *)
+  }
+(** Raised by {!check_exn}; a printer is registered, so an uncaught
+    failure renders both automaton names, the exact slack and the
+    distinguishing witness. *)
+
+val check_exn :
+  schema:Schema.t ->
+  insight_of:(Psioa.t -> Insight.t) ->
+  envs:Psioa.t list ->
+  eps:Rat.t ->
+  q1:int ->
+  q2:int ->
+  depth:int ->
+  adversaries:Psioa.t list ->
+  sim_for:(Psioa.t -> Psioa.t) ->
+  real:Structured.t ->
+  ideal:Structured.t ->
+  Impl.verdict
+(** Like {!check} but raises {!Check_failed} when the verdict does not
+    hold. *)
+
 type component = {
   real : Structured.t;
   ideal : Structured.t;

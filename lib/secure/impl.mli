@@ -23,6 +23,15 @@ type verdict = {
           distance *)
 }
 
+type engine = { memo : bool; domains : int; compress : Measure.compress }
+(** Measure-engine knobs threaded into every {!Measure.exec_dist} call a
+    checker performs. Passed positionally (the checkers have no positional
+    parameter over which optional arguments could be erased). *)
+
+val default_engine : engine
+(** [{ memo = false; domains = 1; compress = `Off }] — the historical
+    sequential path; what the knob-less entry points use. *)
+
 val approx_le :
   schema:Schema.t ->
   insight_of:(Psioa.t -> Insight.t) ->
@@ -37,6 +46,24 @@ val approx_le :
 (** [A ≤ B]: for every environment [E] and every [q1]-bounded scheduler the
     schema yields for [E ‖ A], search the [q2]-bounded schema schedulers of
     [E ‖ B] for one within sup-set distance [ε] (Definition 3.6). *)
+
+val approx_le_engine :
+  engine ->
+  schema:Schema.t ->
+  insight_of:(Psioa.t -> Insight.t) ->
+  envs:Psioa.t list ->
+  eps:Rat.t ->
+  q1:int ->
+  q2:int ->
+  depth:int ->
+  a:Psioa.t ->
+  b:Psioa.t ->
+  verdict
+(** {!approx_le} with explicit engine knobs. Inherits the
+    {!Measure.exec_dist} determinism contract: the verdict (holds, worst
+    distance, details) is bit-identical for every [domains] count and
+    compression level — experiment E18 asserts this on the compromise
+    sweeps. *)
 
 val approx_le_with :
   matcher:(env:Psioa.t -> comp_a:Psioa.t -> comp_b:Psioa.t -> Scheduler.t -> Scheduler.t) ->

@@ -1,0 +1,191 @@
+(* Mutation-testing harness for the emulation checker.
+
+   The WGCGB idea turned into a test tool: systematically perturb a member
+   automaton at one (state, action) site — drop a transition, redirect an
+   output's payload, bias a probability by an exact rational — and assert
+   that the secure-emulation checker *kills* every mutant (the `≤_SE`
+   verdict stops holding). A checker that passes all mutants is measuring
+   something; one that passes a mutant is vacuous at that site.
+
+   Operators target locally controlled actions only: mutating how a member
+   reacts to a free input is a change of environment behaviour, not of the
+   member, and dropping an input would break input-enabledness towards
+   composition partners. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+type op = Drop | Redirect | Bias
+
+let op_name = function Drop -> "drop" | Redirect -> "redirect" | Bias -> "bias"
+
+type mutation = {
+  op : op;
+  state : Value.t;
+  action : Action.t;
+  label : string;
+  mutant : Psioa.t;
+}
+
+(* Mutating env-unreachable member states breeds unkillable mutants (no
+   execution of E ‖ protocol ever exercises the site), so target states
+   are computed *co-reachably*: explore the composite the checker will
+   actually run and project out the member's local states. The walk is
+   closed-world — only locally controlled (output/internal) actions fire —
+   because [Psioa.reachable] also chases free inputs nobody in the
+   composite ever emits, which is exactly the unkillable-site mistake this
+   function exists to avoid. *)
+let co_reachable ?(max_states = 2000) ?(max_depth = max_int) ~project comp =
+  let visited = ref [] in
+  let states = ref [] in
+  let mem l v = List.exists (fun x -> Value.compare x v = 0) l in
+  let rec go depth frontier =
+    match frontier with
+    | [] -> ()
+    | _ when depth > max_depth || List.length !visited >= max_states -> ()
+    | _ ->
+        let next =
+          List.concat_map
+            (fun q ->
+              (match project q with
+              | Some m when not (mem !states m) -> states := m :: !states
+              | _ -> ());
+              List.concat_map
+                (fun a ->
+                  match Psioa.transition comp q a with
+                  | Some d -> Dist.support d
+                  | None -> [])
+                (Action_set.elements (Sigs.local (Psioa.signature comp q))))
+            frontier
+        in
+        let fresh =
+          List.filter
+            (fun q ->
+              if mem !visited q then false
+              else begin
+                visited := q :: !visited;
+                true
+              end)
+            next
+        in
+        go (depth + 1) fresh
+  in
+  visited := [ Psioa.start comp ];
+  go 0 [ Psioa.start comp ];
+  List.rev !states
+
+let mklabel op q a = Printf.sprintf "%s %s @ %s" (op_name op) (Action.to_string a) (Value.to_string q)
+
+let at_state qh q = Value.compare q qh = 0
+
+(* Remove one locally controlled action from one state: the signature
+   shrinks (still legal per Def 2.1) and the transition becomes undefined
+   exactly there. *)
+let drop_at auto qh ah =
+  let signature q =
+    let s = Psioa.signature auto q in
+    if at_state qh q then
+      Sigs.make
+        ~input:(Sigs.input s)
+        ~output:(Action_set.remove ah (Sigs.output s))
+        ~internal:(Action_set.remove ah (Sigs.internal s))
+    else s
+  in
+  let transition q a =
+    if at_state qh q && Action.equal a ah then None else Psioa.transition auto q a
+  in
+  Psioa.make ~name:(Psioa.name auto ^ "!drop") ~start:(Psioa.start auto) ~signature ~transition
+
+(* Replace output [ah] with [ah'] at one state, keeping the original
+   target distribution: the member emits the wrong thing. The caller
+   guarantees [ah'] is fresh at that state. *)
+let redirect_at auto qh ah ah' =
+  let signature q =
+    let s = Psioa.signature auto q in
+    if at_state qh q then
+      Sigs.make ~input:(Sigs.input s)
+        ~output:(Action_set.add ah' (Action_set.remove ah (Sigs.output s)))
+        ~internal:(Sigs.internal s)
+    else s
+  in
+  let transition q a =
+    if at_state qh q && Action.equal a ah then None
+    else if at_state qh q && Action.equal a ah' then Psioa.transition auto q ah
+    else Psioa.transition auto q a
+  in
+  Psioa.make ~name:(Psioa.name auto ^ "!redirect") ~start:(Psioa.start auto) ~signature ~transition
+
+(* Shift exactly half of the second support point's mass onto the first:
+   [(v0, p0); (v1, p1); …] becomes [(v0, p0 + p1/2); (v1, p1/2); …].
+   Exact rationals, always a proper sub-distribution, always a genuine
+   change (p1 > 0 in a support). *)
+let bias_at auto qh ah =
+  let bias d =
+    match Dist.items d with
+    | (v0, p0) :: (v1, p1) :: rest ->
+        let half = Rat.div p1 (Rat.of_int 2) in
+        Dist.make ~compare:Value.compare ((v0, Rat.add p0 half) :: (v1, half) :: rest)
+    | _ -> d
+  in
+  let transition q a =
+    let d = Psioa.transition auto q a in
+    if at_state qh q && Action.equal a ah then Option.map bias d else d
+  in
+  Psioa.make ~name:(Psioa.name auto ^ "!bias") ~start:(Psioa.start auto)
+    ~signature:(Psioa.signature auto) ~transition
+
+(* Default redirect: flip the low bit of an integer payload, keeping the
+   action name — send(1) becomes send(0). *)
+let flip_payload a =
+  match Action.payload a with
+  | Value.Int v -> Some (Action.make ~payload:(Value.int (v lxor 1)) (Action.name a))
+  | _ -> None
+
+let mutants ?(redirect = flip_payload) ~states auto =
+  let per_state qh =
+    let s = Psioa.signature auto qh in
+    let local = Action_set.elements (Sigs.local s) in
+    let drops =
+      List.map
+        (fun a ->
+          { op = Drop; state = qh; action = a; label = mklabel Drop qh a;
+            mutant = drop_at auto qh a })
+        local
+    in
+    let redirects =
+      List.filter_map
+        (fun a ->
+          match redirect a with
+          | Some a' when (not (Action.equal a a')) && not (Sigs.mem a' s) ->
+              Some
+                { op = Redirect; state = qh; action = a; label = mklabel Redirect qh a;
+                  mutant = redirect_at auto qh a a' }
+          | _ -> None)
+        (Action_set.elements (Sigs.output s))
+    in
+    let biases =
+      List.filter_map
+        (fun a ->
+          match Psioa.transition auto qh a with
+          | Some d when Dist.size d >= 2 ->
+              Some
+                { op = Bias; state = qh; action = a; label = mklabel Bias qh a;
+                  mutant = bias_at auto qh a }
+          | _ -> None)
+        local
+    in
+    drops @ redirects @ biases
+  in
+  (* Stillborn mutants (invalid per Def 2.1) prove nothing when "killed":
+     discard them instead of counting them. *)
+  List.filter
+    (fun m -> match Psioa.validate ~max_states:2000 m.mutant with Ok () -> true | Error _ -> false)
+    (List.concat_map per_state states)
+
+type report = { total : int; killed : int; survivors : mutation list }
+
+let sweep ~killed mutations =
+  let survivors = List.filter (fun m -> not (killed m)) mutations in
+  { total = List.length mutations;
+    killed = List.length mutations - List.length survivors;
+    survivors }

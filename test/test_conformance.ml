@@ -43,21 +43,88 @@ let test_compress : Measure.compress =
    deterministically, so qcheck's integer shrinking shrinks the case. *)
 type case = { seed : int; kind : int; sched : int; depth : int }
 
+(* kind 3 (the robustness corner): a via-spliced faulty channel — lossy
+   on even seeds, reordering on odd — feeds a compromisable receiver
+   whose takeover is put under scheduler control by an injector. [build]
+   then meters channel faults and takeovers together with
+   [Fault.budget_sched], so the fault combinators are exercised end to
+   end through every engine. *)
+let faulty_channel_system seed =
+  let module Fault = Cdse_fault.Fault in
+  let msg n = Action.make ~payload:(Value.int n) "s.msg" in
+  let acts = List.init 3 msg in
+  let sender =
+    Psioa.make ~name:"s" ~start:(Value.int 0)
+      ~signature:(fun q ->
+        match q with
+        | Value.Int n when n < 3 ->
+            Sigs.make ~input:Action_set.empty
+              ~output:(Action_set.of_list [ msg n ])
+              ~internal:Action_set.empty
+        | _ -> Sigs.empty)
+      ~transition:(fun q a ->
+        match q with
+        | Value.Int n when n < 3 && Action.equal a (msg n) ->
+            Some (Vdist.dirac (Value.int (n + 1)))
+        | _ -> None)
+  in
+  (* Counts deliveries; from two on it also acks — a locally controlled
+     action that [Adversary.silent_takeover] silences, so a takeover is
+     visible in the execution measure, not just in the state. *)
+  let ack = Action.make "r.ack" in
+  let receiver =
+    Psioa.make ~name:"r" ~start:(Value.int 0)
+      ~signature:(fun q ->
+        match q with
+        | Value.Int n when n < 6 ->
+            Sigs.make
+              ~input:(Action_set.of_list acts)
+              ~output:(if n >= 2 then Action_set.of_list [ ack ] else Action_set.empty)
+              ~internal:Action_set.empty
+        | _ -> Sigs.empty)
+      ~transition:(fun q a ->
+        match q with
+        | Value.Int n when n < 6 ->
+            if Action.equal a ack then Some (Vdist.dirac q)
+            else if List.exists (Action.equal a) acts then
+              Some (Vdist.dirac (Value.int (n + 1)))
+            else None
+        | _ -> None)
+  in
+  let wrapped =
+    Fault.compromise
+      ~adversarial:(Cdse_secure.Adversary.silent_takeover receiver)
+      receiver
+  in
+  let channel =
+    if seed mod 2 = 0 then Fault.lossy_channel ~cap:4 ~name:"ch" ~acts ()
+    else Fault.delay_channel ~cap:4 ~name:"ch" ~acts ()
+  in
+  let inj = Fault.injector ~faults:[ Fault.compromise_action "r" ] () in
+  Compose.pair inj (Fault.via ~channel ~acts sender wrapped)
+
 let build { seed; kind; sched; depth } =
   let rng = Rng.make seed in
   let auto =
-    match kind mod 3 with
+    match kind mod 4 with
     | 0 -> Cdse_gen.Random_auto.make ~rng ~name:"ca" ~n_states:6 ~n_actions:3 ()
     | 1 -> Cdse_config.Pca.psioa (Cdse_gen.Random_pca.make ~rng ~n_members:3 ())
-    | _ ->
+    | 2 ->
         Cdse_config.Pca.psioa
           (Cdse_gen.Random_pca.make ~rng ~n_members:3 ~faults:true ())
+    | _ -> faulty_channel_system seed
   in
   let sched =
     match sched mod 3 with
     | 0 -> Scheduler.uniform auto
     | 1 -> Scheduler.first_enabled auto
     | _ -> Scheduler.round_robin auto
+  in
+  let sched =
+    (* kind 3 runs under a fault budget of k = (seed/2) mod 3, counting
+       channel drops/skips and takeovers against the same cap. *)
+    if kind mod 4 = 3 then Cdse_fault.Fault.budget_sched ((seed / 2) mod 3) sched
+    else sched
   in
   (auto, Scheduler.bounded depth sched, depth)
 
@@ -66,7 +133,7 @@ let case_arb =
   map
     ~rev:(fun { seed; kind; sched; depth } -> (seed, kind, sched, depth))
     (fun (seed, kind, sched, depth) -> { seed; kind; sched; depth })
-    (quad (int_bound 100_000) (int_bound 2) (int_bound 2) (int_range 2 4))
+    (quad (int_bound 100_000) (int_bound 3) (int_bound 2) (int_range 2 4))
 
 let print_case { seed; kind; sched; depth } =
   Printf.sprintf "{seed=%d; kind=%d; sched=%d; depth=%d}" seed kind sched depth

@@ -201,6 +201,120 @@ let test_budget_sched_filters_after_k () =
   Alcotest.check rat "choice mass preserved (liveness)" (Dist.mass (base.Scheduler.choose e1))
     (Dist.mass d1)
 
+(* ---------------------------------------------------------- compromise *)
+
+(* Two tiny automata over the same state space (Int n, n < 2): the honest
+   one steps with [m.step], the adversarial one with [m.evil] — so a
+   takeover is observable in the trace while Definition 2.1 signatures
+   stay well-formed in both worlds. *)
+let honest_pair () =
+  let step n = act ~payload:(Value.int n) "m.step" in
+  let evil n = act ~payload:(Value.int n) "m.evil" in
+  let mk name out =
+    Psioa.make ~name ~start:(Value.int 0)
+      ~signature:(fun q ->
+        match q with
+        | Value.Int n when n < 2 ->
+            Sigs.make ~input:Action_set.empty
+              ~output:(Action_set.of_list [ out n ])
+              ~internal:Action_set.empty
+        | _ -> Sigs.empty)
+      ~transition:(fun q a ->
+        match q with
+        | Value.Int n when n < 2 && Action.equal a (out n) -> Some (Vdist.dirac (Value.int (n + 1)))
+        | _ -> None)
+  in
+  (mk "m" step, mk "m.adv" evil)
+
+let test_compromise_classification () =
+  (* Structural, on the final dotted component — same regression style as
+     the crash/recover stems: a merely-containing name must not count. *)
+  List.iter
+    (fun (name, kind) ->
+      Alcotest.(check (option string)) name kind
+        (Option.map Fault.kind_name (Fault.fault_kind (act name))))
+    [ ("x.compromise", Some "compromise"); ("x.compromise3", Some "compromise");
+      ("x.restore", Some "restore"); ("a.b.restore", Some "restore");
+      ("sys.compromised", None); ("x.restore_key", None); ("cfg.restore_keys", None);
+      ("compromise", None); ("restore", None) ];
+  Alcotest.(check bool) "compromise counts against the default fault budget" true
+    (Fault.default_is_fault (act "x.compromise"));
+  Alcotest.(check bool) "is_compromise accepts indexed compromises" true
+    (Fault.is_compromise (act "x.compromise7"));
+  Alcotest.(check bool) "restores are not compromise-budgeted" false
+    (Fault.is_compromise (act "x.restore"))
+
+let test_compromise_takeover_and_restore () =
+  let a, b = honest_pair () in
+  let w = Fault.compromise ~adversarial:b a in
+  ok_or_fail (Psioa.validate w);
+  let comp = Fault.compromise_action "m" and rest = Fault.restore_action "m" in
+  let q0 = Psioa.start w in
+  Alcotest.(check bool) "live offers the compromise input" true
+    (Psioa.is_enabled w q0 comp);
+  Alcotest.(check bool) "live local pool is the honest one" true
+    (Psioa.is_enabled w q0 (act ~payload:(Value.int 0) "m.step"));
+  let qe = step1 w q0 comp in
+  Alcotest.(check bool) "takeover state is flagged" true
+    (Option.is_some (Fault.is_compromised qe));
+  Alcotest.(check bool) "evil world runs the adversarial transitions" true
+    (Psioa.is_enabled w qe (act ~payload:(Value.int 0) "m.evil"));
+  Alcotest.(check bool) "honest step gone after takeover" false
+    (Psioa.is_enabled w qe (act ~payload:(Value.int 0) "m.step"));
+  let qe = step1 w qe (act ~payload:(Value.int 0) "m.evil") in
+  let ql = step1 w qe rest in
+  Alcotest.(check bool) "restore hands the current state back" true
+    (Option.is_none (Fault.is_compromised ql)
+    && Psioa.is_enabled w ql (act ~payload:(Value.int 1) "m.step"));
+  (* Empty-signature states stay empty in both worlds, so configuration
+     reduction and PCA destruction are unaffected by the wrapper. *)
+  let qdone = step1 w ql (act ~payload:(Value.int 1) "m.step") in
+  Alcotest.(check bool) "terminal state gains no compromise input" true
+    (Sigs.is_empty (Psioa.signature w qdone))
+
+let test_compromise_zero_budget_trace_equiv () =
+  (* Never scheduled, the compromise input is free: the wrapper is
+     trace-equivalent to the honest member. *)
+  let a, b = honest_pair () in
+  let w = Fault.compromise ~adversarial:b a in
+  let da = Measure.trace_dist a (Scheduler.bounded 4 (Scheduler.uniform a)) ~depth:5 in
+  let dw = Measure.trace_dist w (Scheduler.bounded 4 (Scheduler.uniform w)) ~depth:5 in
+  Alcotest.check rat "statistical distance 0" Rat.zero (Stat.tv_distance da dw)
+
+let test_budget_first_enabled () =
+  let a, b = honest_pair () in
+  let w = Fault.compromise ~adversarial:b a in
+  let comp = Fault.compromise_action "m" in
+  let inj = Fault.injector ~faults:[ comp ] ~each:2 () in
+  let sys = Compose.pair inj w in
+  let pick k e =
+    let d = (Fault.budget_first_enabled ~is_fault:Fault.is_compromise k sys).Scheduler.choose e in
+    Dist.support d
+  in
+  let e0 = Exec.init (Psioa.start sys) in
+  (* min-enabled is the compromise ("m.compromise" < "m.step"); a spent
+     budget folds the constraint into the pick instead of halting on a
+     post-filtered dirac. *)
+  Alcotest.(check bool) "k=1 schedules the takeover first" true
+    (pick 1 e0 = [ comp ]);
+  Alcotest.(check bool) "k=0 picks the best honest action instead" true
+    (pick 0 e0 = [ act ~payload:(Value.int 0) "m.step" ]);
+  let q1 = step1 sys (Psioa.start sys) comp in
+  let e1 = Exec.extend e0 comp q1 in
+  Alcotest.(check bool) "budget spent: second takeover excluded" true
+    (pick 1 e1 = [ act ~payload:(Value.int 0) "m.evil" ]);
+  let avoided =
+    (Fault.budget_first_enabled ~is_fault:Fault.is_compromise
+       ~avoid:(fun x -> String.equal (Action.name x) "m.step")
+       0 sys)
+      .Scheduler.choose e0
+  in
+  Alcotest.(check int) "avoid + spent budget leaves a deliberate halt" 0
+    (Dist.size avoided);
+  (* The packaged schema instantiates to exactly that scheduler. *)
+  Alcotest.(check int) "compromise_budget yields one scheduler" 1
+    (List.length (Schema.instantiate (Fault.compromise_budget 1) sys))
+
 (* ----------------------------------------------------------- properties *)
 
 let auto_arb =
@@ -281,6 +395,15 @@ let () =
             test_budget_sched_filters_after_k;
           Alcotest.test_case "all-faults choice halts deliberately" `Quick
             test_budget_all_faults_halts ] );
+      ( "compromise",
+        [ Alcotest.test_case "classification regressions" `Quick
+            test_compromise_classification;
+          Alcotest.test_case "takeover swaps worlds, restore hands back" `Quick
+            test_compromise_takeover_and_restore;
+          Alcotest.test_case "zero budget ≡ honest member" `Quick
+            test_compromise_zero_budget_trace_equiv;
+          Alcotest.test_case "budgeted first-enabled semantics" `Quick
+            test_budget_first_enabled ] );
       ( "properties",
         [ qtest prop_crash_stop_valid;
           qtest prop_crash_stop_signature_compatible;

@@ -97,6 +97,78 @@ let test_adversary_rejected_missing_ai () =
   in
   Alcotest.(check bool) "deaf adversary rejected" false (Adversary.is_adversary ~structured:relay deaf)
 
+let contains ~sub s = Astring.String.is_infix ~affix:sub s
+
+let test_adversary_error_actionable () =
+  (* The rejection must name both automata, the violated Definition 4.24
+     condition and the offending action — enough to fix the adversary
+     without re-deriving the check by hand. *)
+  let leak0 = act ~payload:(Value.int 0) "proto.leak" in
+  let deaf =
+    Psioa.make ~name:"deaf" ~start:Value.unit
+      ~signature:(fun _ -> Fixtures.sig_io ~i:[ leak0 ] ())
+      ~transition:(fun q a -> if Action.equal a leak0 then Some (Vdist.dirac q) else None)
+  in
+  (match Adversary.check ~structured:relay deaf with
+  | Ok () -> Alcotest.fail "deaf adversary accepted"
+  | Error msg ->
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (Printf.sprintf "message mentions %S" sub) true
+            (contains ~sub msg))
+        [ "deaf"; Structured.name relay; "AI_A"; "proto.deliver" ]);
+  match Adversary.check_exn ~structured:relay deaf with
+  | () -> Alcotest.fail "check_exn did not raise"
+  | exception Adversary.Not_adversary { adversary; action; _ } ->
+      Alcotest.(check string) "exception names the adversary" "deaf" adversary;
+      Alcotest.(check (option string)) "exception carries the undriven input"
+        (Some "proto.deliver")
+        (Option.map Action.name action)
+
+let test_silent_takeover_shape () =
+  (* The canonical compromise payload: inputs survive (composition
+     partners stay unblocked), every locally controlled action is gone. *)
+  let relay_auto = Structured.psioa relay in
+  let silenced = Adversary.silent_takeover relay_auto in
+  Alcotest.(check bool) "valid per Def 2.1" true
+    (Result.is_ok (Psioa.validate ~max_states:400 silenced));
+  List.iter
+    (fun q ->
+      let s = Psioa.signature silenced q and s0 = Psioa.signature relay_auto q in
+      Alcotest.(check bool) "no locally controlled actions" true
+        (Action_set.is_empty (Sigs.local s));
+      Alcotest.(check bool) "inputs preserved (unless the state emptied)" true
+        (Sigs.is_empty s || Action_set.equal (Sigs.input s) (Sigs.input s0)))
+    (Psioa.reachable ~max_states:400 silenced)
+
+let test_emulation_check_failed_printer () =
+  (* real_leaky hands the plaintext to the adversary: the guess game
+     accepts with probability 1 against the ideal world's 1/2. The raised
+     failure must carry both names, the exact slack and a witness line. *)
+  let bound = 12 in
+  match
+    Emulation.check_exn
+      ~schema:(Schema.make ~name:"det" (fun x -> [ Scheduler.first_enabled x ]))
+      ~insight_of:Insight.accept
+      ~envs:[ Cdse_crypto.Secure_channel.env_guess ~msg:1 "n0" ]
+      ~eps:Rat.zero ~q1:bound ~q2:bound ~depth:(bound + 2)
+      ~adversaries:[ Cdse_crypto.Secure_channel.adversary "n0" ]
+      ~sim_for:(fun _ -> Cdse_crypto.Secure_channel.simulator "n0")
+      ~real:(Cdse_crypto.Secure_channel.real_leaky "n0")
+      ~ideal:(Cdse_crypto.Secure_channel.ideal "n0")
+  with
+  | _ -> Alcotest.fail "leaky channel accepted"
+  | exception (Emulation.Check_failed { worst; witness; _ } as exn) ->
+      Alcotest.(check string) "exact slack 1/2" "1/2" (Rat.to_string worst);
+      Alcotest.(check bool) "witness carries a detail line" true
+        (String.length witness > 0);
+      let rendered = Printexc.to_string exn in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) (Printf.sprintf "printer mentions %S" sub) true
+            (contains ~sub rendered))
+        [ "does not securely emulate"; "1/2" ]
+
 let test_lemma_425_restriction () =
   (* Lemma 4.25: an adversary for A||B is an adversary for A. Build an
      adversary serving two relays, check it against one. *)
@@ -475,7 +547,9 @@ let () =
         [ Alcotest.test_case "accepted (Def 4.24)" `Quick test_adversary_accepted;
           Alcotest.test_case "EAct-touching rejected" `Quick test_adversary_rejected_eact;
           Alcotest.test_case "missing AI coverage rejected" `Quick test_adversary_rejected_missing_ai;
-          Alcotest.test_case "restriction (Lemma 4.25)" `Quick test_lemma_425_restriction ] );
+          Alcotest.test_case "restriction (Lemma 4.25)" `Quick test_lemma_425_restriction;
+          Alcotest.test_case "rejection is actionable" `Quick test_adversary_error_actionable;
+          Alcotest.test_case "silent takeover shape" `Quick test_silent_takeover_shape ] );
       ( "impl",
         [ Alcotest.test_case "identical holds at ε=0" `Quick test_impl_identical_holds;
           Alcotest.test_case "bias detected then tolerated" `Quick test_impl_biased_fails_then_holds;
@@ -500,4 +574,5 @@ let () =
       ( "emulation",
         [ Alcotest.test_case "reflexivity (Def 4.26)" `Quick test_emulation_reflexive;
           Alcotest.test_case "detects broken ideal" `Quick test_emulation_detects_leaky_ideal;
-          Alcotest.test_case "Thm 4.30 composite simulator" `Quick test_composite_simulator_shape ] ) ]
+          Alcotest.test_case "Thm 4.30 composite simulator" `Quick test_composite_simulator_shape;
+          Alcotest.test_case "Check_failed printer" `Quick test_emulation_check_failed_printer ] ) ]
