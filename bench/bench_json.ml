@@ -133,6 +133,24 @@ let measure_macro () =
           depths ))
     workloads
 
+(* Timing-attribution block for one exec_dist_domains cell (schema
+   cdse-bench/6): a separate traced run at the widest recorded domain
+   count, reduced to the three fractions ROADMAP item 1 needs — how much
+   worker time stalls at layer barriers, how much layer time the
+   deterministic merge costs, and how unevenly the chunks load the
+   workers. Like [counters_json], collection is off the timing path. *)
+let trace_json run =
+  let domains = List.fold_left max 1 par_domains in
+  Trace.start ();
+  ignore (Sys.opaque_identity (run ~domains ()));
+  Trace.stop ();
+  let sm = Trace.summary () in
+  Trace.clear ();
+  Printf.sprintf
+    "{\"domains\": %d, \"barrier_wait_frac\": %.4f, \"merge_frac\": %.4f, \
+     \"imbalance_max_over_mean\": %.4f}"
+    domains sm.Trace.sm_barrier_wait_frac sm.Trace.sm_merge_frac sm.Trace.sm_imbalance
+
 let measure_par () =
   List.map
     (fun (name, branching, default_depth) ->
@@ -143,12 +161,8 @@ let measure_par () =
           ~branching ()
       in
       let sched = Scheduler.uniform auto in
-      let times =
-        List.map
-          (fun domains ->
-            (domains, wall (fun () -> Measure.exec_dist ~memo:true ~domains auto sched ~depth)))
-          par_domains
-      in
+      let run ~domains () = Measure.exec_dist ~memo:true ~domains auto sched ~depth in
+      let times = List.map (fun domains -> (domains, wall (run ~domains))) par_domains in
       (* Dispatch overhead of the domains-aware entry point at domains = 1
          versus the plain sequential call — both run the sequential engine,
          so this isolates the cost of the parallel plumbing (expected
@@ -156,7 +170,7 @@ let measure_par () =
          follow-up). *)
       let t_plain = wall (fun () -> Measure.exec_dist ~memo:true auto sched ~depth) in
       let overhead_1 = List.assoc 1 times /. Float.max 1e-9 t_plain in
-      (name, depth, times, overhead_1))
+      (name, depth, times, overhead_1, trace_json run))
     par_workloads
 
 (* One compression cell: wall-clock per level at [depth], the quotient
@@ -239,10 +253,10 @@ let emit micro_rows =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cdse-bench/5\",\n";
+  add "  \"schema\": \"cdse-bench/6\",\n";
   add "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
   add
-    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\", \"exec_dist_compress\": \"ms/op wall-clock\", \"compromise_sweep\": \"ms wall-clock, exact rational slacks\"},\n";
+    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\", \"trace\": \"dimensionless fractions from a traced run\", \"exec_dist_compress\": \"ms/op wall-clock\", \"compromise_sweep\": \"ms wall-clock, exact rational slacks\"},\n";
   add "  \"micro\": {\n";
   List.iteri
     (fun i (name, current) ->
@@ -268,17 +282,17 @@ let emit micro_rows =
   add "  },\n";
   add "  \"exec_dist_domains\": {\n";
   List.iteri
-    (fun i (name, depth, times, overhead_1) ->
+    (fun i (name, depth, times, overhead_1, trace) ->
       let ms_of d = List.assoc d times in
       let t1 = ms_of 1 in
       add
-        "    \"%s\": {\"depth\": %d, \"ms\": {%s}, \"speedup_2\": %.2f, \"speedup_4\": %.2f, \"overhead_1\": %.3f}%s\n"
+        "    \"%s\": {\"depth\": %d, \"ms\": {%s}, \"speedup_2\": %.2f, \"speedup_4\": %.2f, \"overhead_1\": %.3f, \"trace\": %s}%s\n"
         name depth
         (String.concat ", "
            (List.map (fun (d, t) -> Printf.sprintf "\"%d\": %.4f" d t) times))
         (t1 /. Float.max 1e-9 (ms_of 2))
         (t1 /. Float.max 1e-9 (ms_of 4))
-        overhead_1
+        overhead_1 trace
         (if i < List.length par - 1 then "," else ""))
     par;
   add "  },\n";
@@ -443,8 +457,8 @@ let check ?(path = "BENCH_cdse.json") () =
     | _ -> fail "top level is not an object"
   in
   (match List.assoc_opt "schema" fields with
-  | Some (Jstr "cdse-bench/5") -> ()
-  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/5\"" other
+  | Some (Jstr "cdse-bench/6") -> ()
+  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/6\"" other
   | _ -> fail "missing string key \"schema\"");
   List.iter
     (fun k -> if not (List.mem_assoc k fields) then fail "missing key %S" k)
@@ -547,7 +561,28 @@ let check ?(path = "BENCH_cdse.json") () =
               match List.assoc_opt k cell with
               | Some (Jnum _) -> ()
               | _ -> fail "%s: missing numeric field %S" ctx k)
-            [ "speedup_2"; "speedup_4"; "overhead_1" ]
+            [ "speedup_2"; "speedup_4"; "overhead_1" ];
+          (* Schema 6: the timing-attribution block from a traced run.
+             Both fractions live in [0,1] by construction; the imbalance
+             is a max-over-mean, ≥ 1 up to float rendering. *)
+          (match List.assoc_opt "trace" cell with
+          | Some (Jobj tr) ->
+              let tnum k =
+                match List.assoc_opt k tr with
+                | Some (Jnum v) -> v
+                | _ -> fail "%s: trace missing numeric field %S" ctx k
+              in
+              if tnum "domains" < 1.0 then fail "%s: trace.domains < 1" ctx;
+              List.iter
+                (fun k ->
+                  let v = tnum k in
+                  if v < 0.0 || v > 1.0 then
+                    fail "%s: trace.%s %.4f is not in [0,1]" ctx k v)
+                [ "barrier_wait_frac"; "merge_frac" ];
+              if tnum "imbalance_max_over_mean" < 0.999 then
+                fail "%s: trace.imbalance_max_over_mean %.4f < 1" ctx
+                  (tnum "imbalance_max_over_mean")
+          | _ -> fail "%s: missing object field \"trace\"" ctx)
       | _ -> fail "exec_dist_domains: stable workload %S missing" name)
     par_workloads;
   (* Schema 4: state-space-compression cells. Structural validation plus
@@ -643,7 +678,82 @@ let check ?(path = "BENCH_cdse.json") () =
         fail "compromise_sweep.%d: committee_holds should flip at the 1-takeover threshold" k)
     compromise_budgets;
   Printf.printf
-    "check-json: %s OK (schema cdse-bench/5, %d micro keys, %d workloads x %d depths, %d domain-scaling cells, %d compression cells, %d compromise cells, counters validated)\n"
+    "check-json: %s OK (schema cdse-bench/6, %d micro keys, %d workloads x %d depths, %d domain-scaling cells with trace blocks, %d compression cells, %d compromise cells, counters validated)\n"
     path (List.length micro_baseline) (List.length macro_baseline) (List.length depths)
     (List.length par_workloads) (List.length compress_workloads)
     (List.length compromise_budgets)
+
+(* ------------------------------------------------------ trace-file check *)
+
+(* Validate an emitted Chrome trace-event file (the --trace output): a
+   top-level object with a "traceEvents" array of complete spans ("X"),
+   instants ("i") and thread-name metadata ("M") — never unbalanced
+   begin/end ("B"/"E") pairs — with numeric coordinates, nonnegative
+   durations, and at least one engine layer span. The CI trace-smoke gate. *)
+let check_trace path =
+  let contents =
+    try
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e ->
+      Printf.eprintf "check-trace: %s\n" e;
+      exit 1
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "check-trace: %s: %s\n" path m;
+        exit 1)
+      fmt
+  in
+  let fields =
+    match parse_json contents with
+    | Jobj fields -> fields
+    | exception Bad_json e -> fail "does not parse: %s" e
+    | _ -> fail "top level is not an object"
+  in
+  let events =
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Jarr evs) -> evs
+    | _ -> fail "missing array key \"traceEvents\""
+  in
+  let spans = ref 0 and layers = ref 0 in
+  List.iteri
+    (fun i ev ->
+      let ctx = Printf.sprintf "traceEvents[%d]" i in
+      match ev with
+      | Jobj e ->
+          let str k =
+            match List.assoc_opt k e with
+            | Some (Jstr s) -> s
+            | _ -> fail "%s: missing string field %S" ctx k
+          in
+          let num k =
+            match List.assoc_opt k e with
+            | Some (Jnum v) -> v
+            | _ -> fail "%s: missing numeric field %S" ctx k
+          in
+          let name = str "name" in
+          (match str "ph" with
+          | "M" -> ()
+          | "X" ->
+              incr spans;
+              if String.equal name "measure.layer" then incr layers;
+              ignore (num "ts");
+              ignore (num "pid");
+              ignore (num "tid");
+              if num "dur" < 0.0 then fail "%s: negative dur" ctx
+          | "i" ->
+              ignore (num "ts");
+              ignore (num "tid")
+          | ("B" | "E") as ph ->
+              fail "%s: unbalanced phase %S (exporter emits complete spans only)" ctx ph
+          | ph -> fail "%s: unexpected phase %S" ctx ph)
+      | _ -> fail "%s: not an object" ctx)
+    events;
+  if !spans = 0 then fail "no complete spans";
+  if !layers = 0 then fail "no measure.layer spans";
+  Printf.printf "check-trace: %s OK (%d events, %d spans, %d layer spans)\n" path
+    (List.length events) !spans !layers

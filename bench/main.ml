@@ -4,6 +4,8 @@
      dune exec bench/main.exe -- E3 E6      — run selected experiments
      dune exec bench/main.exe -- micro      — micro-benchmarks only
      dune exec bench/main.exe -- check-json — validate BENCH_cdse.json keys
+     dune exec bench/main.exe -- check-trace FILE
+                                            — validate a Chrome trace-event file
      dune exec bench/main.exe -- par --domains 4
                                             — multicore conformance smoke
 
@@ -26,10 +28,15 @@ let () =
      --compress LEVEL: off | hcons | quotient, applied by the "par"
      experiment to both the sequential reference and the parallel run.
      --compromise K: clamp the E18 compromise-budget sweep to the single
-     budget K (default: sweep k = 0..3). *)
+     budget K (default: sweep k = 0..3).
+     --trace FILE: record a span trace of the experiment runs and write
+     Chrome trace-event JSON to FILE (plus a text summary to stdout). *)
   let rec extract_flags acc = function
     | "--domains" :: n :: rest ->
         Workbench.domains := max 1 (int_of_string n);
+        extract_flags acc rest
+    | "--trace" :: file :: rest ->
+        Workbench.trace_file := Some file;
         extract_flags acc rest
     | "--depth" :: n :: rest ->
         Workbench.par_depth := Some (max 1 (int_of_string n));
@@ -52,16 +59,35 @@ let () =
     | [] -> List.rev acc
   in
   let args = extract_flags [] args in
-  if List.mem "check-json" args then Bench_json.check ()
-  else begin
-    let run_micro = args = [] || List.mem "micro" args in
-    let selected name = args = [] || List.mem name args in
-    if stats then Cdse.Obs.set_enabled true;
-    print_endline "cdse experiment harness — composable dynamic secure emulation";
-    print_endline "(paper: brief announcement, no tables/figures; experiments per DESIGN.md §5)";
-    List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
-    if run_micro then Bench_json.emit (Micro.run ());
-    Workbench.summary ();
-    if stats then
-      Format.printf "@.-- stats (--stats) --@.%a@." Cdse.Obs.report (Cdse.Obs.snapshot ())
-  end
+  match args with
+  | "check-json" :: _ -> Bench_json.check ()
+  | "check-trace" :: file :: _ -> Bench_json.check_trace file
+  | [ "check-trace" ] ->
+      prerr_endline "check-trace: expected a trace file argument";
+      exit 2
+  | args ->
+      let run_micro = args = [] || List.mem "micro" args in
+      let selected name = args = [] || List.mem name args in
+      if stats then Cdse.Obs.set_enabled true;
+      (match !Workbench.trace_file with
+      | Some _ -> Cdse.Trace.start ()
+      | None -> ());
+      print_endline "cdse experiment harness — composable dynamic secure emulation";
+      print_endline "(paper: brief announcement, no tables/figures; experiments per DESIGN.md §5)";
+      List.iter (fun (name, f) -> if selected name then f ()) Experiments.all;
+      (* The --trace session covers the experiments only: it must be
+         written out before the micro suite runs, because regenerating
+         BENCH_cdse.json starts and clears its own short trace sessions
+         for the per-cell timing-attribution blocks. *)
+      (match !Workbench.trace_file with
+      | Some file ->
+          Cdse.Trace.stop ();
+          Cdse.Trace.write_chrome file;
+          Format.printf "@.-- trace (--trace) --@.%a@.wrote %s@." Cdse.Trace.pp_summary
+            (Cdse.Trace.summary ()) file;
+          Cdse.Trace.clear ()
+      | None -> ());
+      if run_micro then Bench_json.emit (Micro.run ());
+      Workbench.summary ();
+      if stats then
+        Format.printf "@.-- stats (--stats) --@.%a@." Cdse.Obs.report (Cdse.Obs.snapshot ())

@@ -32,6 +32,11 @@ let compress : [ `Off | `Hcons | `Quotient ] ref = ref `Off
    sweeps k = 0..3. Set by --compromise. *)
 let compromise : int option ref = ref None
 
+(* Span-trace output file: [Some f] records a Trace session around the
+   experiment runs and writes Chrome trace-event JSON to [f]. Set by
+   --trace. *)
+let trace_file : string option ref = ref None
+
 let ms t = Printf.sprintf "%.2f" (t *. 1000.)
 
 let verdict ok = if ok then "PASS" else "FAIL"

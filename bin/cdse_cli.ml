@@ -29,6 +29,33 @@ let run_with_stats stats f =
     r
   end
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run (lib/obs Trace) and write it to \
+           $(docv) as Chrome trace-event JSON — load in chrome://tracing or \
+           https://ui.perfetto.dev for a per-domain timeline. A text timing \
+           summary (barrier-wait, merge, imbalance attribution) is printed \
+           to stdout.")
+
+(* Run [f] under span tracing if requested. The Chrome JSON goes to [file];
+   the self-profiling summary goes to stdout after the command's own
+   output. Composes with [run_with_stats] in either nesting order. *)
+let run_with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+      Trace.start ();
+      let r = Fun.protect ~finally:Trace.stop f in
+      Trace.write_chrome file;
+      Format.printf "-- trace --@.%a@.wrote %s@." Trace.pp_summary (Trace.summary ())
+        file;
+      Trace.clear ();
+      r
+
 (* --------------------------------------------------------------- validate *)
 
 let validate_cmd =
@@ -109,7 +136,7 @@ let measure_cmd =
       & opt (enum [ ("first", `First); ("uniform", `Uniform); ("round-robin", `Rr) ]) `Uniform
       & info [ "sched" ] ~docv:"S" ~doc:"Scheduler: first, uniform or round-robin")
   in
-  let run workload sched_kind depth seed domains compress stats =
+  let run workload sched_kind depth seed domains compress stats trace =
     let auto =
       match workload with
       | `Coin -> Cdse_gen.Workloads.coin "coin"
@@ -126,9 +153,10 @@ let measure_cmd =
       | `Rr -> Scheduler.round_robin auto
     in
     let d =
-      run_with_stats stats (fun () ->
-          Measure.exec_dist ~domains ~compress auto (Scheduler.bounded depth sched)
-            ~depth)
+      run_with_trace trace (fun () ->
+          run_with_stats stats (fun () ->
+              Measure.exec_dist ~domains ~compress auto
+                (Scheduler.bounded depth sched) ~depth))
     in
     Format.printf "%d completed executions, total mass %s@." (Dist.size d)
       (Rat.to_string (Dist.mass d));
@@ -143,7 +171,7 @@ let measure_cmd =
     (Cmd.info "measure" ~doc:"Exact execution measure of a workload under a scheduler")
     Term.(
       const run $ workload $ sched_kind $ depth_arg $ seed_arg $ domains_arg
-      $ compress_arg $ stats_arg)
+      $ compress_arg $ stats_arg $ trace_arg)
 
 (* ---------------------------------------------------------------- emulate *)
 
@@ -172,13 +200,15 @@ let emulate_cmd =
              emulation under a budget of $(docv) takeovers. Expected to hold \
              iff $(docv) = 0.")
   in
-  let run protocol broken compromise =
+  let run protocol broken compromise stats trace =
     match (compromise, protocol) with
     | Some _, (`Coin | `Share | `Broadcast) ->
         Format.eprintf "error: --compromise applies to --protocol channel only@.";
         2
     | _ ->
     let v =
+      run_with_trace trace @@ fun () ->
+      run_with_stats stats @@ fun () ->
       match protocol with
       | `Channel when compromise <> None ->
           let k = Option.get compromise in
@@ -257,7 +287,7 @@ let emulate_cmd =
   in
   Cmd.v
     (Cmd.info "emulate" ~doc:"Check dynamic secure emulation (Definition 4.26)")
-    Term.(const run $ protocol $ broken $ compromise)
+    Term.(const run $ protocol $ broken $ compromise $ stats_arg $ trace_arg)
 
 (* --------------------------------------------------------------------- d1 *)
 
@@ -379,11 +409,12 @@ let churn_cmd =
     Arg.(value & opt int 4 & info [ "subchains" ] ~docv:"N" ~doc:"Subchain budget")
   in
   let steps = Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"N" ~doc:"Driver steps") in
-  let run subchains steps seed obs_stats =
+  let run subchains steps seed obs_stats trace =
     let system = Dynamic_system.build ~n_subchains:subchains ~max_total:(6 * subchains) () in
     let stats =
-      run_with_stats obs_stats (fun () ->
-          Dynamic_system.drive ~restart:true system ~rng:(Rng.make seed) ~steps)
+      run_with_trace trace (fun () ->
+          run_with_stats obs_stats (fun () ->
+              Dynamic_system.drive ~restart:true system ~rng:(Rng.make seed) ~steps))
     in
     Format.printf "steps %d, created %d, destroyed %d, max alive %d, ledger total %d@."
       stats.Dynamic_system.steps_taken stats.Dynamic_system.creations
@@ -393,7 +424,7 @@ let churn_cmd =
   in
   Cmd.v
     (Cmd.info "churn" ~doc:"Drive the dynamic subchain PCA under random churn")
-    Term.(const run $ subchains $ steps $ seed_arg $ stats_arg)
+    Term.(const run $ subchains $ steps $ seed_arg $ stats_arg $ trace_arg)
 
 let () =
   let info =

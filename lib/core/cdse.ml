@@ -11,6 +11,7 @@
 
     - {!Bits}, {!Cost}, {!Poly}: encodings and the step meter (Section 4.1).
     - {!Obs}: engine observability — counters, histograms, event sink.
+    - {!Trace}: span tracing — per-domain timelines, Chrome-trace export.
     - {!Bignat}, {!Rat}, {!Dist}, {!Stat}, {!Rng}: exact probability.
     - {!Value}, {!Action}, {!Action_set}, {!Sigs}, {!Psioa}, {!Exec},
       {!Compose}, {!Hide}, {!Rename}, {!Registry}: PSIOA (Section 2).
@@ -37,6 +38,7 @@ module Pretty = Cdse_util.Pretty
 
 (* obs *)
 module Obs = Cdse_obs.Obs
+module Trace = Cdse_obs.Trace
 
 (* prob *)
 module Bignat = Cdse_prob.Bignat

@@ -2,6 +2,7 @@ open Cdse_prob
 open Cdse_psioa
 open Cdse_sched
 module Obs = Cdse_obs.Obs
+module Trace = Cdse_obs.Trace
 
 (* Fault transitions evaluated, by kind. A transition fires when the
    measure engine (or a simulation driver) evaluates it; under
@@ -62,6 +63,7 @@ let crash_wrap ~suffix ~crash ~revive auto =
     | Value.Tag (t, q0) when String.equal t live_tag ->
         if Action.equal a crash then begin
           Obs.incr c_crash;
+          Trace.instant ~args:(fun () -> [ ("member", Psioa.name auto) ]) "fault.crash";
           Some (Vdist.dirac (dead q0))
         end
         else Option.map (Vdist.map live) (Psioa.transition auto q0 a)
@@ -69,6 +71,7 @@ let crash_wrap ~suffix ~crash ~revive auto =
         match revive with
         | Some (rec_act, reboot) when Action.equal a rec_act ->
             Obs.incr c_recover;
+            Trace.instant ~args:(fun () -> [ ("member", Psioa.name auto) ]) "fault.recover";
             Some (Vdist.dirac (live (reboot q0)))
         | _ ->
             if Action_set.mem a (dead_inputs q0) then Some (Vdist.dirac q)
@@ -139,6 +142,9 @@ let compromise ?compromise ?restore ~adversarial auto =
           if Sigs.is_empty (Psioa.signature auto q0) then None
           else begin
             Obs.incr c_compromise;
+            Trace.instant
+              ~args:(fun () -> [ ("member", Psioa.name auto) ])
+              "fault.compromise";
             Some (Vdist.dirac (evil q0))
           end
         else Option.map (Vdist.map live) (Psioa.transition auto q0 a)
@@ -147,6 +153,9 @@ let compromise ?compromise ?restore ~adversarial auto =
           if Sigs.is_empty (Psioa.signature adversarial q0) then None
           else begin
             Obs.incr c_restore;
+            Trace.instant
+              ~args:(fun () -> [ ("member", Psioa.name auto) ])
+              "fault.restore";
             Some (Vdist.dirac (live q0))
           end
         else Option.map (Vdist.map evil) (Psioa.transition adversarial q0 a)
@@ -279,6 +288,9 @@ let injector ?(name = "fault-injector") ?(each = 1) ~faults () =
           if i >= n then None
           else if counts.(i) > 0 && Action.equal a faults.(i) then begin
             Obs.incr c_injected;
+            Trace.instant
+              ~args:(fun () -> [ ("fault", Action.to_string faults.(i)) ])
+              "fault.injected";
             let counts' = Array.copy counts in
             counts'.(i) <- counts.(i) - 1;
             Some (Vdist.dirac (st counts'))
@@ -380,6 +392,7 @@ let budget_sched ?(is_fault = default_is_fault) k sched =
                measure engine books the execution's whole remaining mass
                as halting mass (not as truncation deficit). *)
             Obs.incr c_budget_halt;
+            Trace.instant "fault.budget.halt";
             kept
           end
           else

@@ -115,13 +115,14 @@ type histogram = {
   mutable h_n : int;
   mutable h_total : int;
   mutable h_hi : int;
+  mutable h_lo : int;
 }
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
 
 let histogram name =
   registered histograms name (fun () ->
-      { buckets = Array.make 64 0; h_n = 0; h_total = 0; h_hi = 0 })
+      { buckets = Array.make 64 0; h_n = 0; h_total = 0; h_hi = 0; h_lo = 0 })
 
 let bucket_of v =
   if v <= 0 then 0
@@ -135,6 +136,7 @@ let observe h v =
   if !on then begin
     let i = bucket_of v in
     h.buckets.(i) <- h.buckets.(i) + 1;
+    if h.h_n = 0 || v < h.h_lo then h.h_lo <- v;
     h.h_n <- h.h_n + 1;
     h.h_total <- h.h_total + v;
     if v > h.h_hi then h.h_hi <- v
@@ -143,6 +145,7 @@ let observe h v =
 let hist_count h = h.h_n
 let hist_sum h = h.h_total
 let hist_max h = h.h_hi
+let hist_min h = h.h_lo
 
 (* Gauges *)
 
@@ -175,9 +178,27 @@ let emit name detail =
 type histogram_stats = {
   h_count : int;
   h_sum : int;
+  h_min : int;
   h_max : int;
   h_buckets : (int * int) list;
 }
+
+(* Smallest recorded bucket upper bound by which at least ceil(p * count)
+   observations have fallen; the exact max for p = 1. An upper bound on the
+   true percentile — exact to the power-of-two bucket resolution. *)
+let hist_percentile st p =
+  if st.h_count = 0 then 0
+  else begin
+    let need =
+      let t = int_of_float (ceil (p *. float_of_int st.h_count)) in
+      max 1 (min st.h_count t)
+    in
+    let rec go acc = function
+      | [] -> st.h_max
+      | (ub, n) :: rest -> if acc + n >= need then min ub st.h_max else go (acc + n) rest
+    in
+    go 0 st.h_buckets
+  end
 
 type snapshot = {
   s_counters : (string * int) list;
@@ -195,7 +216,8 @@ let snapshot () =
     for i = Array.length h.buckets - 1 downto 0 do
       if h.buckets.(i) > 0 then bs := (bucket_upper i, h.buckets.(i)) :: !bs
     done;
-    { h_count = h.h_n; h_sum = h.h_total; h_max = h.h_hi; h_buckets = !bs }
+    { h_count = h.h_n; h_sum = h.h_total; h_min = h.h_lo; h_max = h.h_hi;
+      h_buckets = !bs }
   in
   {
     s_counters = sorted_bindings counters (fun c -> c.c);
@@ -214,7 +236,8 @@ let reset () =
       Array.fill h.buckets 0 (Array.length h.buckets) 0;
       h.h_n <- 0;
       h.h_total <- 0;
-      h.h_hi <- 0)
+      h.h_hi <- 0;
+      h.h_lo <- 0)
     histograms
 
 let with_stats f =
@@ -242,11 +265,14 @@ let report fmt s =
     fprintf fmt "histograms:@,";
     List.iter
       (fun (k, h) ->
-        fprintf fmt "  %-32s count=%d sum=%d max=%d@," k h.h_count h.h_sum
-          h.h_max;
-        List.iter
-          (fun (ub, n) -> fprintf fmt "    <= %-10d %d@," ub n)
-          h.h_buckets)
+        let mean =
+          if h.h_count = 0 then 0.
+          else float_of_int h.h_sum /. float_of_int h.h_count
+        in
+        fprintf fmt
+          "  %-32s count=%d min=%d max=%d mean=%.1f p50<=%d p90<=%d p99<=%d@,"
+          k h.h_count h.h_min h.h_max mean (hist_percentile h 0.5)
+          (hist_percentile h 0.9) (hist_percentile h 0.99))
       s.s_histograms
   end;
   fprintf fmt "@]"

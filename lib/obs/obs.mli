@@ -100,6 +100,9 @@ val hist_count : histogram -> int
 val hist_sum : histogram -> int
 val hist_max : histogram -> int
 
+val hist_min : histogram -> int
+(** Smallest observation; 0 when empty. *)
+
 (** {1 Gauges}
 
     Last-write-wins text gauges. Used for values that are not integers —
@@ -135,9 +138,17 @@ val emit : string -> (unit -> string) -> unit
 type histogram_stats = {
   h_count : int;
   h_sum : int;
+  h_min : int;
   h_max : int;
   h_buckets : (int * int) list;  (** (bucket upper bound, count), non-empty buckets only *)
 }
+
+val hist_percentile : histogram_stats -> float -> int
+(** [hist_percentile st p] (with [0 < p <= 1]) is an upper bound on the
+    [p]-th percentile of the recorded observations: the smallest recorded
+    bucket upper bound by which at least [ceil (p * count)] observations
+    have fallen, capped at [h_max] (so [p = 1] is the exact max). Exact up
+    to the power-of-two bucket resolution; 0 for an empty histogram. *)
 
 type snapshot = {
   s_counters : (string * int) list;      (** sorted by name *)

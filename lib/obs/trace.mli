@@ -1,0 +1,196 @@
+(** Span tracing for the measure engine: where the wall-clock goes.
+
+    {!Obs} answers "how many" (counters, histograms); this module answers
+    "when and for how long". It records {e complete spans} (a name, a
+    domain id, a start timestamp and a duration) and {e instant events}
+    into per-domain ring buffers, and exports them either as Chrome
+    trace-event JSON — load the file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto} for an interactive per-domain
+    timeline — or as a self-profiling text summary that attributes each
+    frontier layer's time to expansion, barrier wait, merge and quotient
+    work (the numbers behind the barrier-free-engine decision, ROADMAP
+    item 1).
+
+    {2 Cost model}
+
+    Like {!Obs}, the tracer is compiled in unconditionally and designed to
+    be free when disabled: every recording site is a load and a branch on
+    one [bool ref], argument lists are thunks that are never forced while
+    disabled, and {!begin_span} returns a shared null token without
+    reading the clock. Enabled, a span costs two clock reads and one
+    record write into a preallocated ring.
+
+    {2 Concurrency}
+
+    The same discipline as {!Obs} counters: a worker domain installs a
+    ring buffer in its domain-local storage ({!with_buffer}) and every
+    event it records lands there, written by that domain alone — no locks,
+    no atomics on the hot path. The coordinating domain folds worker
+    buffers into the global event store at layer barriers ({!drain}).
+    Recording {e without} an installed buffer is reserved for the
+    coordinating domain (the sequential engine, checker phases, CLI
+    drivers), exactly like histograms and gauges in {!Obs}. Toggle tracing
+    only between engine runs, never while worker domains are live.
+
+    {2 Clock}
+
+    Timestamps are microseconds of wall-clock ([Unix.gettimeofday])
+    relative to the {!start} call. The engine's spans are long enough
+    (layers, chunks, barriers) that µs resolution is ample; durations are
+    clamped non-negative so a stepping clock cannot produce a span Chrome
+    refuses to render. *)
+
+(** {1 Master switch} *)
+
+val enabled : unit -> bool
+(** Tracing switch; [false] at startup. *)
+
+val start : ?capacity:int -> unit -> unit
+(** Clear every previously collected event, restart the clock origin and
+    enable tracing. [?capacity] (default [65536]) bounds each subsequently
+    created ring buffer {e and} is a per-run bound on the global store (a
+    full buffer drops further events and counts them, see {!dropped} —
+    recording never blocks and never reallocates). *)
+
+val stop : unit -> unit
+(** Disable tracing. Collected events are kept for export. *)
+
+val clear : unit -> unit
+(** Drop every collected event and reset the dropped-event count. *)
+
+val now_us : unit -> float
+(** Microseconds since {!start}. Meaningful only while tracing. *)
+
+val dropped : unit -> int
+(** Events discarded because a ring or the global store was full,
+    including drops folded in from drained worker buffers. *)
+
+(** {1 Recording} *)
+
+type args = (string * string) list
+(** Span/event arguments, rendered into the Chrome [args] object and the
+    per-layer summary. Keys are lowercase identifiers. *)
+
+val span : ?args:(unit -> args) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a complete span. The argument thunk is
+    forced {e after} [f] returns (so it may read results through a ref)
+    and only when tracing is enabled. The span is recorded even when [f]
+    raises — spans are always balanced. *)
+
+type tok
+(** An open span: name, owning domain and start timestamp. A token from a
+    disabled {!begin_span} is inert — {!end_span} on it records nothing. *)
+
+val begin_span : string -> tok
+
+val end_span : ?args:(unit -> args) -> tok -> unit
+(** Close the span and record it. Call on the domain that opened it. *)
+
+val instant : ?args:(unit -> args) -> string -> unit
+(** A zero-duration event (fault injections, takeovers, per-layer stats). *)
+
+val emit_span : ?dom:int -> ?args:args -> string -> ts_us:float -> dur_us:float -> unit
+(** Record a span with explicit coordinates — the coordinator uses this to
+    attribute barrier-wait intervals to {e worker} timelines after the
+    fact ([?dom] overrides the recording domain's id). No-op when
+    disabled; negative durations are clamped to 0. *)
+
+(** {1 Per-domain buffers} *)
+
+type buffer
+
+val buffer : dom:int -> buffer
+(** A fresh ring buffer whose events carry domain id [dom] (the worker
+    index, used as the Chrome [tid]). Capacity is the value given to the
+    last {!start}. *)
+
+val with_buffer : buffer -> (unit -> 'a) -> 'a
+(** Install the buffer in {e this} domain's local storage for the duration
+    of the callback, diverting every event it records (at any depth) into
+    it. The previous buffer, if any, is restored afterwards. A buffer must
+    not be installed in two domains at once. *)
+
+val drain : buffer -> unit
+(** Fold the buffer's events (and its dropped count) into the global store
+    and empty it. Call from the coordinating domain while the buffer's
+    worker is idle — a layer barrier. *)
+
+(** {1 Collected events} *)
+
+type event = {
+  ev_name : string;
+  ev_dom : int;  (** worker/domain index; 0 = coordinator *)
+  ev_ts : float;  (** µs since {!start} *)
+  ev_dur : float;  (** µs; 0 for instants *)
+  ev_instant : bool;
+  ev_args : args;
+}
+
+val events : unit -> event list
+(** Everything drained or recorded on the coordinator so far, sorted by
+    start timestamp. Does not include still-undrained worker buffers. *)
+
+(** {1 Exporters} *)
+
+val to_chrome : unit -> string
+(** The collected events as Chrome trace-event JSON (the catapult
+    ["traceEvents"] format): complete ["ph": "X"] spans and
+    ["ph": "i"] instants on [pid] 0, one [tid] per domain, with
+    [thread_name] metadata — loadable in [chrome://tracing] and
+    Perfetto. *)
+
+val write_chrome : string -> unit
+(** {!to_chrome} to a file. *)
+
+(** {2 Self-profiling summary}
+
+    Parsed from the engine's span vocabulary ([measure.layer],
+    [measure.expand], [measure.chunk], [measure.barrier.wait],
+    [measure.merge], [quotient.merge], [measure.truncate],
+    [measure.layer.stats]); foreign spans are counted but not
+    attributed. When one trace covers several engine runs, rows with the
+    same layer index aggregate. *)
+
+type layer_row = {
+  lr_layer : int;
+  lr_width : int;  (** frontier width entering the layer *)
+  lr_total_us : float;  (** full layer span *)
+  lr_expand_us : float;  (** parallel section / sequential expansion *)
+  lr_merge_us : float;  (** deterministic frontier merge (parallel engine) *)
+  lr_quotient_us : float;  (** bisimulation-quotient pass *)
+  lr_barrier_us : float;  (** barrier wait, summed over workers *)
+  lr_chunks : int;
+  lr_stats : args;  (** memo/hcons deltas from [measure.layer.stats] *)
+}
+
+type worker_row = {
+  wr_dom : int;
+  wr_busy_us : float;  (** chunk-span time *)
+  wr_wait_us : float;  (** barrier-wait time *)
+  wr_chunks : int;
+}
+
+type summary = {
+  sm_spans : int;
+  sm_instants : int;
+  sm_dropped : int;
+  sm_total_us : float;  (** last event end − first event start *)
+  sm_barrier_wait_frac : float;
+      (** Σ barrier-wait ∕ (Σ barrier-wait + Σ chunk busy): the fraction
+          of worker time stalled at layer barriers. 0 when no parallel
+          section was traced. *)
+  sm_merge_frac : float;  (** Σ merge ∕ Σ layer time; 0 without layers *)
+  sm_imbalance : float;
+      (** max ∕ mean of per-worker total busy time — chunk-load imbalance
+          across the run (≥ 1; 1 when perfectly balanced or sequential) *)
+  sm_layers : layer_row list;  (** sorted by layer index *)
+  sm_workers : worker_row list;  (** sorted by domain id *)
+  sm_chunk_us : float list;  (** all chunk durations, sorted ascending *)
+}
+
+val summary : unit -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Multi-line rendering: run totals, the three attribution fractions, a
+    per-layer table, per-worker busy/wait totals and a chunk-duration
+    percentile line. *)

@@ -11,10 +11,17 @@ type compress = Par_measure.compress
    the determinism contract). This module keeps the measure-theoretic
    surface: cones, traces, reachability, expectations, sampling. *)
 
+(* Every exact entry point funnels through here, so one span covers the
+   whole engine run; the per-layer spans inside it come from Par_measure. *)
 let exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress ?track auto
     sched ~depth =
-  Par_measure.exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress
-    ?track auto sched ~depth
+  Cdse_obs.Trace.span "measure.exec_dist"
+    ~args:(fun () ->
+      [ ("depth", string_of_int depth);
+        ("domains", string_of_int (Option.value ~default:1 domains)) ])
+    (fun () ->
+      Par_measure.exec_dist_budgeted ?memo ?max_execs ?max_width ?domains
+        ?compress ?track auto sched ~depth)
 
 let exec_dist ?memo ?max_execs ?max_width ?domains ?compress ?track auto sched
     ~depth =

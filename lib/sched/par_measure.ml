@@ -1,6 +1,7 @@
 open Cdse_prob
 open Cdse_psioa
 module Obs = Cdse_obs.Obs
+module Trace = Cdse_obs.Trace
 
 type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
 
@@ -34,6 +35,34 @@ let h_width_c = Obs.histogram "measure.frontier.width_compressed"
 let c_q_classes = Obs.counter "quotient.classes"
 let c_q_merged = Obs.counter "quotient.merged"
 let g_q_mass = Obs.gauge "quotient.mass_merged"
+
+(* Per-layer memo/hcons/choice-cache hit deltas, emitted as a
+   [measure.layer.stats] instant for the trace summary. Reads the global
+   counter records, so it must run on the coordinating domain after worker
+   shards are merged — the layer barrier. One probe per engine run (the
+   deltas are against the previous layer of the same run). *)
+let layer_stats_probe () =
+  let tracked =
+    [| ("choice_hit", "measure.choice.hit"); ("choice_miss", "measure.choice.miss");
+       ("memo_hit", "psioa.memo.step.hit"); ("memo_miss", "psioa.memo.step.miss");
+       ("hcons_hit", "hcons.hits"); ("hcons_miss", "hcons.misses") |]
+  in
+  let prev = Array.make (Array.length tracked) 0 in
+  fun ~layer ->
+    if Trace.enabled () then begin
+      let args = ref [] in
+      Array.iteri
+        (fun i (label, name) ->
+          let v = Obs.counter_value name in
+          if v - prev.(i) <> 0 then
+            args := (label, string_of_int (v - prev.(i))) :: !args;
+          prev.(i) <- v)
+        tracked;
+      if !args <> [] then
+        Trace.instant
+          ~args:(fun () -> ("layer", string_of_int layer) :: List.rev !args)
+          "measure.layer.stats"
+    end
 
 (* ------------------------------------------------------------------ pool *)
 
@@ -126,6 +155,8 @@ end
    under both sequential iteration and multicore chunking. Only ever
    called when a budget is exceeded: the unbudgeted path never sorts. *)
 let truncate_entries ~keep entries =
+  Trace.span ~args:(fun () -> [ ("keep", string_of_int keep) ]) "measure.truncate"
+  @@ fun () ->
   let arr = Array.of_list entries in
   Array.stable_sort
     (fun (e1, p1) (e2, p2) ->
@@ -217,6 +248,7 @@ let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sch
   let quotient = quotient_on ~compress sched in
   let sig_of = Psioa.signature auto in
   let qmass = ref Rat.zero in
+  let layer_stats = layer_stats_probe () in
   let rec go step alive n_finished finished lost =
     if step = depth || alive = [] then finish alive finished lost
     else begin
@@ -224,34 +256,50 @@ let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sch
         Obs.incr c_layers;
         Obs.observe h_width (List.length alive)
       end;
+      let layer_tok = Trace.begin_span "measure.layer" in
+      let layer_args () =
+        [ ("layer", string_of_int step);
+          ("width", string_of_int (List.length alive)) ]
+      in
+      let end_layer () =
+        layer_stats ~layer:step;
+        Trace.end_span ~args:layer_args layer_tok
+      in
       let alive' = ref [] and finished' = ref finished and n_finished' = ref n_finished in
-      List.iter
-        (fun (e, p) ->
-          let choice = choice_of e in
-          if not (Dist.is_proper choice) then begin
-            let halt_mass = Rat.mul p (Dist.deficit choice) in
-            if not (Rat.is_zero halt_mass) then begin
-              Obs.incr c_finished;
-              finished' := (e, halt_mass) :: !finished';
-              incr n_finished'
-            end
-          end;
-          let q = Exec.lstate e in
-          Dist.iter
-            (fun act pa ->
-              let eta = Psioa.step auto q act in
-              let pa = Rat.mul p pa in
+      Trace.span ~args:(fun () -> [ ("layer", string_of_int step) ]) "measure.expand"
+        (fun () ->
+          List.iter
+            (fun (e, p) ->
+              let choice = choice_of e in
+              if not (Dist.is_proper choice) then begin
+                let halt_mass = Rat.mul p (Dist.deficit choice) in
+                if not (Rat.is_zero halt_mass) then begin
+                  Obs.incr c_finished;
+                  finished' := (e, halt_mass) :: !finished';
+                  incr n_finished'
+                end
+              end;
+              let q = Exec.lstate e in
               Dist.iter
-                (fun q' pq -> alive' := (Exec.extend e act q', Rat.mul pa pq) :: !alive')
-                eta)
-            choice)
-        alive;
+                (fun act pa ->
+                  let eta = Psioa.step auto q act in
+                  let pa = Rat.mul p pa in
+                  Dist.iter
+                    (fun q' pq ->
+                      alive' := (Exec.extend e act q', Rat.mul pa pq) :: !alive')
+                    eta)
+                choice)
+            alive);
       (* Quotient before the budgets: the frontier the budgets see — and
          prune, by the same (prob desc, Exec.compare asc) total order — is
          the compressed one, so compression reduces truncation instead of
          competing with it. *)
       let alive' =
-        if quotient then compress_layer ~sig_of ~track ~qmass !alive' else !alive'
+        if quotient then
+          Trace.span ~args:(fun () -> [ ("layer", string_of_int step) ])
+            "measure.quotient" (fun () ->
+              compress_layer ~sig_of ~track ~qmass !alive')
+        else !alive'
       in
       (* Width budget: prune the frontier to its most probable executions,
          accounting the pruned mass as truncation deficit. *)
@@ -268,8 +316,11 @@ let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sch
       match max_execs with
       | Some cap when !n_finished' + List.length alive' > cap ->
           let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
+          end_layer ();
           finish kept !finished' (Rat.add lost dropped)
-      | _ -> go (step + 1) alive' !n_finished' !finished' lost
+      | _ ->
+          end_layer ();
+          go (step + 1) alive' !n_finished' !finished' lost
     end
   in
   let res = go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] 0 [] Rat.zero in
@@ -305,6 +356,19 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
   let qmass = ref Rat.zero in
   let choices = Array.map (fun a -> choice_fn ~memo a sched) autos in
   let shards = Array.init n_workers (fun _ -> Obs.new_shard ()) in
+  (* Worker trace buffers mirror the Obs shards: allocated once per engine
+     run, and only when tracing is already on — enabling tracing mid-run is
+     unsupported (same caveat as Obs histograms). [busy_end.(w)] is the
+     timestamp at which worker [w] ran out of chunks; the coordinator turns
+     the gap up to its own post-barrier clock read into a synthetic
+     [measure.barrier.wait] span on the worker's timeline. *)
+  let tracing = Trace.enabled () in
+  let tbufs =
+    if tracing then Array.init n_workers (fun w -> Trace.buffer ~dom:w)
+    else [||]
+  in
+  let busy_end = Array.make n_workers 0. in
+  let layer_stats = layer_stats_probe () in
   let pool = Pool.create n_workers in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   let rec go step frontier n_finished finished lost =
@@ -315,6 +379,10 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
         Obs.incr c_layers;
         Obs.observe h_width n
       end;
+      let layer_tok = Trace.begin_span "measure.layer" in
+      let layer_args () =
+        [ ("layer", string_of_int step); ("width", string_of_int n) ]
+      in
       let exts = Array.make n [] in
       let halts = Array.make n Rat.zero in
       (* First worker failure per chunk, keyed by the chunk's base index:
@@ -326,39 +394,63 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
       let chunk_size =
         match chunk with Some c -> max 1 c | None -> max 1 (n / (n_workers * 8))
       in
+      let expand_tok = Trace.begin_span "measure.expand" in
       Pool.run pool (fun w ->
           let auto = autos.(w) and choice_of = choices.(w) in
+          let body () =
+            let running = ref true in
+            while !running do
+              let lo = Atomic.fetch_and_add next chunk_size in
+              if lo >= n then running := false
+              else begin
+                let hi = min n (lo + chunk_size) in
+                let chunk_tok = Trace.begin_span "measure.chunk" in
+                (try
+                   for i = lo to hi - 1 do
+                     let e, p = frontier.(i) in
+                     let choice = choice_of e in
+                     if not (Dist.is_proper choice) then
+                       halts.(i) <- Rat.mul p (Dist.deficit choice);
+                     let q = Exec.lstate e in
+                     let acc = ref [] in
+                     Dist.iter
+                       (fun act pa ->
+                         let eta = Psioa.step auto q act in
+                         let pa = Rat.mul p pa in
+                         Dist.iter
+                           (fun q' pq ->
+                             acc := (Exec.extend e act q', Rat.mul pa pq) :: !acc)
+                           eta)
+                       choice;
+                     exts.(i) <- !acc
+                   done
+                 with exn ->
+                   errors.(w) <- Some (lo, exn);
+                   running := false);
+                Trace.end_span
+                  ~args:(fun () ->
+                    [ ("layer", string_of_int step); ("lo", string_of_int lo);
+                      ("n", string_of_int (hi - lo)) ])
+                  chunk_tok
+              end
+            done;
+            if tracing then busy_end.(w) <- Trace.now_us ()
+          in
           Obs.with_shard shards.(w) (fun () ->
-              let running = ref true in
-              while !running do
-                let lo = Atomic.fetch_and_add next chunk_size in
-                if lo >= n then running := false
-                else begin
-                  try
-                    for i = lo to min n (lo + chunk_size) - 1 do
-                      let e, p = frontier.(i) in
-                      let choice = choice_of e in
-                      if not (Dist.is_proper choice) then
-                        halts.(i) <- Rat.mul p (Dist.deficit choice);
-                      let q = Exec.lstate e in
-                      let acc = ref [] in
-                      Dist.iter
-                        (fun act pa ->
-                          let eta = Psioa.step auto q act in
-                          let pa = Rat.mul p pa in
-                          Dist.iter
-                            (fun q' pq ->
-                              acc := (Exec.extend e act q', Rat.mul pa pq) :: !acc)
-                            eta)
-                        choice;
-                      exts.(i) <- !acc
-                    done
-                  with exn ->
-                    errors.(w) <- Some (lo, exn);
-                    running := false
-                end
-              done));
+              if tracing then Trace.with_buffer tbufs.(w) body else body ()));
+      Trace.end_span ~args:(fun () -> [ ("layer", string_of_int step) ]) expand_tok;
       Array.iter Obs.merge_shard shards;
+      if tracing then begin
+        let t_bar = Trace.now_us () in
+        Array.iteri
+          (fun w buf ->
+            Trace.emit_span ~dom:w
+              ~args:[ ("layer", string_of_int step) ]
+              "measure.barrier.wait" ~ts_us:busy_end.(w)
+              ~dur_us:(t_bar -. busy_end.(w));
+            Trace.drain buf)
+          tbufs
+      end;
       (match
          Array.fold_left
            (fun best err ->
@@ -371,22 +463,28 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
       | Some (_, exn) -> raise exn
       | None -> ());
       let alive' = ref [] and finished' = ref finished and n_finished' = ref n_finished in
-      Array.iteri
-        (fun i (e, _) ->
-          let h = halts.(i) in
-          if not (Rat.is_zero h) then begin
-            Obs.incr c_finished;
-            finished' := (e, h) :: !finished';
-            incr n_finished'
-          end;
-          alive' := List.rev_append exts.(i) !alive')
-        frontier;
+      Trace.span ~args:(fun () -> [ ("layer", string_of_int step) ]) "measure.merge"
+        (fun () ->
+          Array.iteri
+            (fun i (e, _) ->
+              let h = halts.(i) in
+              if not (Rat.is_zero h) then begin
+                Obs.incr c_finished;
+                finished' := (e, h) :: !finished';
+                incr n_finished'
+              end;
+              alive' := List.rev_append exts.(i) !alive')
+            frontier);
       (* Same placement as the sequential engine: quotient first, budgets
          on the compressed frontier. The merge itself is insensitive to
          entry order, so the multicore frontier (assembled in index order
          but list-reversed per chunk) compresses to the identical classes. *)
       let alive' =
-        if quotient then compress_layer ~sig_of ~track ~qmass !alive' else !alive'
+        if quotient then
+          Trace.span ~args:(fun () -> [ ("layer", string_of_int step) ])
+            "measure.quotient" (fun () ->
+              compress_layer ~sig_of ~track ~qmass !alive')
+        else !alive'
       in
       let alive', lost =
         match max_width with
@@ -395,11 +493,18 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
             (kept, Rat.add lost dropped)
         | _ -> (alive', lost)
       in
+      let end_layer () =
+        layer_stats ~layer:step;
+        Trace.end_span ~args:layer_args layer_tok
+      in
       match max_execs with
       | Some cap when !n_finished' + List.length alive' > cap ->
           let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
+          end_layer ();
           finish kept !finished' (Rat.add lost dropped)
-      | _ -> go (step + 1) (Array.of_list alive') !n_finished' !finished' lost
+      | _ ->
+          end_layer ();
+          go (step + 1) (Array.of_list alive') !n_finished' !finished' lost
     end
   in
   let res = go 0 [| (Exec.init (Psioa.start auto), Rat.one) |] 0 [] Rat.zero in

@@ -29,6 +29,9 @@ let check_engine engine ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth ~adversari
   let verdicts =
     List.map
       (fun adv ->
+        Cdse_obs.Trace.span "emulation.adversary"
+          ~args:(fun () -> [ ("adv", Psioa.name adv) ])
+        @@ fun () ->
         let sim = sim_for adv in
         let v =
           Impl.approx_le_engine engine ~schema ~insight_of ~envs ~eps ~q1 ~q2 ~depth

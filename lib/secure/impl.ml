@@ -27,10 +27,16 @@ let run ~engine ~insight_of ~envs ~eps ~depth ~scheds_for_a ~candidates_for ~a ~
   let holds = ref true in
   List.iter
     (fun env ->
+      Cdse_obs.Trace.span "emulation.env"
+        ~args:(fun () -> [ ("env", Psioa.name env) ])
+      @@ fun () ->
       let comp_a = Compose.pair env a in
       let comp_b = Compose.pair env b in
       List.iter
         (fun sigma1 ->
+          Cdse_obs.Trace.span "emulation.sched"
+            ~args:(fun () -> [ ("sched", sigma1.Scheduler.name) ])
+          @@ fun () ->
           let da = fdist ~engine ~insight_of comp_a sigma1 ~depth in
           let best, witness, best_db =
             List.fold_left

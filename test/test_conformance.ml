@@ -444,11 +444,50 @@ let test_corpus () =
         true (conforms case))
     (corpus ())
 
+(* The corpus again with the span tracer live: tracing a quotient-
+   compressed multicore run must not perturb the measure (bit-identical
+   entries), and the trace itself must be well-formed — balanced spans
+   with non-negative durations, layer spans present. Catches any
+   instrumentation that accidentally reorders or re-times engine work. *)
+let test_corpus_traced () =
+  let module Trace = Cdse_obs.Trace in
+  List.iter
+    (fun case ->
+      let auto, sched, depth = build case in
+      let plain = Measure.exec_dist ~compress:`Quotient auto sched ~depth in
+      Trace.start ();
+      let traced =
+        Measure.exec_dist ~compress:`Quotient ~domains:2 auto sched ~depth
+      in
+      Trace.stop ();
+      let evs = Trace.events () in
+      Trace.clear ();
+      Alcotest.(check bool)
+        (Printf.sprintf "traced quotient run bit-identical for %s"
+           (print_case case))
+        true
+        (let i1 = Dist.items plain and i2 = Dist.items traced in
+         List.length i1 = List.length i2
+         && List.for_all2
+              (fun (e, p) (e', p') -> Exec.compare e e' = 0 && Rat.equal p p')
+              i1 i2);
+      Alcotest.(check bool)
+        (Printf.sprintf "trace well-formed for %s" (print_case case))
+        true
+        (evs <> []
+        && List.for_all (fun e -> e.Trace.ev_dur >= 0.) evs
+        && List.exists (fun e -> e.Trace.ev_name = "measure.layer") evs))
+    (corpus ())
+
 let () =
   Alcotest.run "conformance"
     [
       ( "corpus",
-        [ Alcotest.test_case "replay committed seed corpus" `Quick test_corpus ] );
+        [
+          Alcotest.test_case "replay committed seed corpus" `Quick test_corpus;
+          Alcotest.test_case "replay corpus traced (quotient, domains=2)" `Quick
+            test_corpus_traced;
+        ] );
       ( "differential",
         [
           qtest prop_conformance;

@@ -44,6 +44,42 @@ let test_instrument_basics () =
   Alcotest.(check bool) "with_stats restored the disabled state" false
     (Obs.enabled ())
 
+let test_histogram_percentiles () =
+  (* 100 observations 1..100: the percentile estimate is the upper bound
+     of the first power-of-two bucket covering the rank, capped at the
+     recorded max — so p50 <= 63 (bucket 32..63), p90 <= 100 (bucket
+     64..127 capped) and p99/p100 hit the max exactly. *)
+  let (), snap =
+    Obs.with_stats (fun () ->
+        let h = Obs.histogram "test.pct.hist" in
+        for v = 1 to 100 do
+          Obs.observe h v
+        done)
+  in
+  let h = List.assoc "test.pct.hist" snap.Obs.s_histograms in
+  Alcotest.(check int) "min recorded" 1 h.Obs.h_min;
+  Alcotest.(check int) "max recorded" 100 h.Obs.h_max;
+  Alcotest.(check int) "p50 upper bound is its bucket's" 63
+    (Obs.hist_percentile h 0.50);
+  Alcotest.(check int) "p90 capped at the recorded max" 100
+    (Obs.hist_percentile h 0.90);
+  Alcotest.(check int) "p99 = max" 100 (Obs.hist_percentile h 0.99);
+  (* Degenerate shapes: a single observation answers itself at every
+     percentile; an empty histogram answers 0. *)
+  let (), snap =
+    Obs.with_stats (fun () -> Obs.observe (Obs.histogram "test.pct.one") 5)
+  in
+  let one = List.assoc "test.pct.one" snap.Obs.s_histograms in
+  Alcotest.(check int) "singleton p50 = the value" 5 (Obs.hist_percentile one 0.5);
+  Alcotest.(check int) "singleton p99 = the value" 5 (Obs.hist_percentile one 0.99);
+  Alcotest.(check int) "singleton min = the value" 5 one.Obs.h_min;
+  let (), snap =
+    Obs.with_stats (fun () -> ignore (Obs.histogram "test.pct.empty"))
+  in
+  let empty = List.assoc "test.pct.empty" snap.Obs.s_histograms in
+  Alcotest.(check int) "empty histogram: percentile 0" 0
+    (Obs.hist_percentile empty 0.5)
+
 let test_event_sink () =
   let got = ref [] in
   let forced = ref 0 in
@@ -170,6 +206,8 @@ let () =
     [ ( "instruments",
         [ Alcotest.test_case "counters, histograms, with_stats" `Quick
             test_instrument_basics;
+          Alcotest.test_case "histogram min and percentiles" `Quick
+            test_histogram_percentiles;
           Alcotest.test_case "event sink gating" `Quick test_event_sink ] );
       ( "conservation",
         [ Alcotest.test_case "memo hits + misses = lookups" `Quick
