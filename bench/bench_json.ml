@@ -31,10 +31,12 @@ let macro_baseline =
 
 let depths = [ 3; 4; 5; 6 ]
 
-(* Parallel-scaling cells (schema cdse-bench/3): E7's widest uniform
-   random-walk workloads, the exact cone expanded with 1, 2 and 4 domains.
-   Times are wall-clock — the speedups reflect the recording host's core
-   count, the distributions are bit-identical by contract either way. *)
+(* Parallel-scaling cells (schema cdse-bench/3, layered engine; schema
+   cdse-bench/7 adds the same workloads under the barrier-free subtree
+   engine): E7's widest uniform random-walk workloads, the exact cone
+   expanded with 1, 2 and 4 domains. Times are wall-clock — the speedups
+   reflect the recording host's core count, the distributions are
+   bit-identical by contract either way. *)
 let par_workloads = [ ("walk_b2", 2, 8); ("walk_b3", 3, 6) ]
 let par_domains = [ 1; 2; 4 ]
 
@@ -151,26 +153,66 @@ let trace_json run =
      \"imbalance_max_over_mean\": %.4f}"
     domains sm.Trace.sm_barrier_wait_frac sm.Trace.sm_merge_frac sm.Trace.sm_imbalance
 
+let par_system (name, branching, default_depth) =
+  let depth = Option.value ~default:default_depth !Workbench.par_depth in
+  let rng = Rng.make (branching * 1000) in
+  let auto =
+    Cdse_gen.Random_auto.make ~rng ~name:"walk" ~n_states:8 ~n_actions:branching
+      ~branching ()
+  in
+  (name, depth, auto, Scheduler.uniform auto)
+
+(* One scaling cell: wall-clock per domain count, plus the dispatch
+   overhead of the domains-aware entry point at domains = 1 versus the
+   plain sequential call — both run the sequential engine, so this
+   isolates the cost of the parallel plumbing (expected ≈ 1.0; tracked as
+   a regression guard on the engine dispatch). *)
+let par_cell ~trace workload run_of =
+  let name, depth, auto, sched = par_system workload in
+  let run = run_of auto sched ~depth in
+  let times = List.map (fun domains -> (domains, wall (run ~domains))) par_domains in
+  let t_plain = wall (fun () -> Measure.exec_dist ~memo:true auto sched ~depth) in
+  let overhead_1 = List.assoc 1 times /. Float.max 1e-9 t_plain in
+  (name, depth, times, overhead_1, trace run)
+
 let measure_par () =
   List.map
-    (fun (name, branching, default_depth) ->
-      let depth = Option.value ~default:default_depth !Workbench.par_depth in
-      let rng = Rng.make (branching * 1000) in
-      let auto =
-        Cdse_gen.Random_auto.make ~rng ~name:"walk" ~n_states:8 ~n_actions:branching
-          ~branching ()
-      in
-      let sched = Scheduler.uniform auto in
-      let run ~domains () = Measure.exec_dist ~memo:true ~domains auto sched ~depth in
-      let times = List.map (fun domains -> (domains, wall (run ~domains))) par_domains in
-      (* Dispatch overhead of the domains-aware entry point at domains = 1
-         versus the plain sequential call — both run the sequential engine,
-         so this isolates the cost of the parallel plumbing (expected
-         ≈ 1.0; tracked as a regression guard for the work-stealing
-         follow-up). *)
-      let t_plain = wall (fun () -> Measure.exec_dist ~memo:true auto sched ~depth) in
-      let overhead_1 = List.assoc 1 times /. Float.max 1e-9 t_plain in
-      (name, depth, times, overhead_1, trace_json run))
+    (fun workload ->
+      par_cell ~trace:trace_json workload (fun auto sched ~depth ~domains () ->
+          Measure.exec_dist ~engine:`Layered ~memo:true ~domains auto sched ~depth))
+    par_workloads
+
+(* Attribution block for one exec_dist_subtree cell (schema cdse-bench/7):
+   the steal fraction — donated work units over all claimed work units —
+   from a stats run, and the idle fraction and worker imbalance from a
+   traced run, both off the timing path. *)
+let subtree_trace_json run =
+  let domains = List.fold_left max 1 par_domains in
+  let (), snap =
+    Obs.with_stats (fun () -> ignore (Sys.opaque_identity (run ~domains ())))
+  in
+  let c name = Option.value ~default:0 (List.assoc_opt name snap.Obs.s_counters) in
+  let roots = c "measure.subtree.roots" and steals = c "measure.subtree.steals" in
+  let steal_frac =
+    if roots + steals = 0 then 0.0
+    else float_of_int steals /. float_of_int (roots + steals)
+  in
+  Trace.start ();
+  ignore (Sys.opaque_identity (run ~domains ()));
+  Trace.stop ();
+  let sm = Trace.summary () in
+  Trace.clear ();
+  Printf.sprintf
+    "{\"domains\": %d, \"idle_frac\": %.4f, \"steal_frac\": %.4f, \
+     \"imbalance_max_over_mean\": %.4f}"
+    domains sm.Trace.sm_idle_frac steal_frac sm.Trace.sm_imbalance
+
+let measure_subtree () =
+  List.map
+    (fun workload ->
+      par_cell ~trace:subtree_trace_json workload
+        (fun auto sched ~depth ~domains () ->
+          Measure.exec_dist ~engine:`Subtree ~memo:true ~domains auto sched ~depth))
     par_workloads
 
 (* One compression cell: wall-clock per level at [depth], the quotient
@@ -248,15 +290,16 @@ let entry ?(digits = 1) ?(extra = "") baseline current =
 let emit micro_rows =
   let macro = measure_macro () in
   let par = measure_par () in
+  let subtree = measure_subtree () in
   let compress = measure_compress () in
   let compromise = measure_compromise () in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"cdse-bench/6\",\n";
+  add "  \"schema\": \"cdse-bench/7\",\n";
   add "  \"generated_by\": \"dune exec bench/main.exe -- micro\",\n";
   add
-    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock\", \"trace\": \"dimensionless fractions from a traced run\", \"exec_dist_compress\": \"ms/op wall-clock\", \"compromise_sweep\": \"ms wall-clock, exact rational slacks\"},\n";
+    "  \"units\": {\"micro\": \"ns/op\", \"exec_dist\": \"ms/op\", \"counters\": \"count per single run\", \"exec_dist_domains\": \"ms/op wall-clock, layered engine\", \"exec_dist_subtree\": \"ms/op wall-clock, barrier-free subtree engine\", \"trace\": \"dimensionless fractions from a traced run\", \"exec_dist_compress\": \"ms/op wall-clock\", \"compromise_sweep\": \"ms wall-clock, exact rational slacks\"},\n";
   add "  \"micro\": {\n";
   List.iteri
     (fun i (name, current) ->
@@ -280,22 +323,26 @@ let emit micro_rows =
       add "    }%s\n" (if i < List.length macro - 1 then "," else ""))
     macro;
   add "  },\n";
-  add "  \"exec_dist_domains\": {\n";
-  List.iteri
-    (fun i (name, depth, times, overhead_1, trace) ->
-      let ms_of d = List.assoc d times in
-      let t1 = ms_of 1 in
-      add
-        "    \"%s\": {\"depth\": %d, \"ms\": {%s}, \"speedup_2\": %.2f, \"speedup_4\": %.2f, \"overhead_1\": %.3f, \"trace\": %s}%s\n"
-        name depth
-        (String.concat ", "
-           (List.map (fun (d, t) -> Printf.sprintf "\"%d\": %.4f" d t) times))
-        (t1 /. Float.max 1e-9 (ms_of 2))
-        (t1 /. Float.max 1e-9 (ms_of 4))
-        overhead_1 trace
-        (if i < List.length par - 1 then "," else ""))
-    par;
-  add "  },\n";
+  let emit_par_block key cells =
+    add "  \"%s\": {\n" key;
+    List.iteri
+      (fun i (name, depth, times, overhead_1, trace) ->
+        let ms_of d = List.assoc d times in
+        let t1 = ms_of 1 in
+        add
+          "    \"%s\": {\"depth\": %d, \"ms\": {%s}, \"speedup_2\": %.2f, \"speedup_4\": %.2f, \"overhead_1\": %.3f, \"trace\": %s}%s\n"
+          name depth
+          (String.concat ", "
+             (List.map (fun (d, t) -> Printf.sprintf "\"%d\": %.4f" d t) times))
+          (t1 /. Float.max 1e-9 (ms_of 2))
+          (t1 /. Float.max 1e-9 (ms_of 4))
+          overhead_1 trace
+          (if i < List.length cells - 1 then "," else ""))
+      cells;
+    add "  },\n"
+  in
+  emit_par_block "exec_dist_domains" par;
+  emit_par_block "exec_dist_subtree" subtree;
   add "  \"exec_dist_compress\": {\n";
   List.iteri
     (fun i (name, cell) ->
@@ -315,9 +362,9 @@ let emit micro_rows =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf
-    "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6, %d domain-scaling cells, %d compression cells, %d compromise cells)\n%!"
+    "Wrote BENCH_cdse.json (%d micro rows, %d exec_dist workloads x depths 3-6, %d layered + %d subtree scaling cells, %d compression cells, %d compromise cells)\n%!"
     (List.length micro_rows) (List.length macro) (List.length par)
-    (List.length compress) (List.length compromise)
+    (List.length subtree) (List.length compress) (List.length compromise)
 
 (* ----------------------------------------------------- stable-key check *)
 
@@ -457,8 +504,8 @@ let check ?(path = "BENCH_cdse.json") () =
     | _ -> fail "top level is not an object"
   in
   (match List.assoc_opt "schema" fields with
-  | Some (Jstr "cdse-bench/6") -> ()
-  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/6\"" other
+  | Some (Jstr "cdse-bench/7") -> ()
+  | Some (Jstr other) -> fail "schema is %S, expected \"cdse-bench/7\"" other
   | _ -> fail "missing string key \"schema\"");
   List.iter
     (fun k -> if not (List.mem_assoc k fields) then fail "missing key %S" k)
@@ -534,57 +581,63 @@ let check ?(path = "BENCH_cdse.json") () =
             base
       | _ -> fail "exec_dist: stable workload %S missing" name)
     macro_baseline;
-  (* Schema 3: per-domain wall-clock cells. Each workload carries its
-     depth, a "ms" object with one number per recorded domain count, and
-     the derived 2-/4-domain speedups. *)
-  let domains_block = objf "exec_dist_domains" in
-  List.iter
-    (fun (name, _, _) ->
-      let ctx = "exec_dist_domains." ^ name in
-      match List.assoc_opt name domains_block with
-      | Some (Jobj cell) ->
-          (match List.assoc_opt "depth" cell with
-          | Some (Jnum _) -> ()
-          | _ -> fail "%s: missing numeric field \"depth\"" ctx);
-          (match List.assoc_opt "ms" cell with
-          | Some (Jobj ms) ->
-              List.iter
-                (fun d ->
-                  match List.assoc_opt (string_of_int d) ms with
-                  | Some (Jnum t) when t > 0.0 -> ()
-                  | Some (Jnum _) -> fail "%s: ms[%d] is not positive" ctx d
-                  | _ -> fail "%s: ms missing domain count %d" ctx d)
-                par_domains
-          | _ -> fail "%s: missing object field \"ms\"" ctx);
-          List.iter
-            (fun k ->
-              match List.assoc_opt k cell with
-              | Some (Jnum _) -> ()
-              | _ -> fail "%s: missing numeric field %S" ctx k)
-            [ "speedup_2"; "speedup_4"; "overhead_1" ];
-          (* Schema 6: the timing-attribution block from a traced run.
-             Both fractions live in [0,1] by construction; the imbalance
-             is a max-over-mean, ≥ 1 up to float rendering. *)
-          (match List.assoc_opt "trace" cell with
-          | Some (Jobj tr) ->
-              let tnum k =
-                match List.assoc_opt k tr with
-                | Some (Jnum v) -> v
-                | _ -> fail "%s: trace missing numeric field %S" ctx k
-              in
-              if tnum "domains" < 1.0 then fail "%s: trace.domains < 1" ctx;
-              List.iter
-                (fun k ->
-                  let v = tnum k in
-                  if v < 0.0 || v > 1.0 then
-                    fail "%s: trace.%s %.4f is not in [0,1]" ctx k v)
-                [ "barrier_wait_frac"; "merge_frac" ];
-              if tnum "imbalance_max_over_mean" < 0.999 then
-                fail "%s: trace.imbalance_max_over_mean %.4f < 1" ctx
-                  (tnum "imbalance_max_over_mean")
-          | _ -> fail "%s: missing object field \"trace\"" ctx)
-      | _ -> fail "exec_dist_domains: stable workload %S missing" name)
-    par_workloads;
+  (* Schema 3/7: per-domain wall-clock cells, one block per engine. Each
+     workload carries its depth, a "ms" object with one number per
+     recorded domain count, and the derived 2-/4-domain speedups; the
+     timing-attribution "trace" block carries the engine-specific
+     fractions — barrier-wait and merge for the layered engine (schema 6),
+     idle and steal for the barrier-free subtree engine (schema 7). All
+     fractions live in [0,1] by construction; the imbalance is a
+     max-over-mean, ≥ 1 up to float rendering. *)
+  let check_par_block key ~fracs =
+    let block = objf key in
+    List.iter
+      (fun (name, _, _) ->
+        let ctx = key ^ "." ^ name in
+        match List.assoc_opt name block with
+        | Some (Jobj cell) ->
+            (match List.assoc_opt "depth" cell with
+            | Some (Jnum _) -> ()
+            | _ -> fail "%s: missing numeric field \"depth\"" ctx);
+            (match List.assoc_opt "ms" cell with
+            | Some (Jobj ms) ->
+                List.iter
+                  (fun d ->
+                    match List.assoc_opt (string_of_int d) ms with
+                    | Some (Jnum t) when t > 0.0 -> ()
+                    | Some (Jnum _) -> fail "%s: ms[%d] is not positive" ctx d
+                    | _ -> fail "%s: ms missing domain count %d" ctx d)
+                  par_domains
+            | _ -> fail "%s: missing object field \"ms\"" ctx);
+            List.iter
+              (fun k ->
+                match List.assoc_opt k cell with
+                | Some (Jnum _) -> ()
+                | _ -> fail "%s: missing numeric field %S" ctx k)
+              [ "speedup_2"; "speedup_4"; "overhead_1" ];
+            (match List.assoc_opt "trace" cell with
+            | Some (Jobj tr) ->
+                let tnum k =
+                  match List.assoc_opt k tr with
+                  | Some (Jnum v) -> v
+                  | _ -> fail "%s: trace missing numeric field %S" ctx k
+                in
+                if tnum "domains" < 1.0 then fail "%s: trace.domains < 1" ctx;
+                List.iter
+                  (fun k ->
+                    let v = tnum k in
+                    if v < 0.0 || v > 1.0 then
+                      fail "%s: trace.%s %.4f is not in [0,1]" ctx k v)
+                  fracs;
+                if tnum "imbalance_max_over_mean" < 0.999 then
+                  fail "%s: trace.imbalance_max_over_mean %.4f < 1" ctx
+                    (tnum "imbalance_max_over_mean")
+            | _ -> fail "%s: missing object field \"trace\"" ctx)
+        | _ -> fail "%s: stable workload %S missing" key name)
+      par_workloads
+  in
+  check_par_block "exec_dist_domains" ~fracs:[ "barrier_wait_frac"; "merge_frac" ];
+  check_par_block "exec_dist_subtree" ~fracs:[ "idle_frac"; "steal_frac" ];
   (* Schema 4: state-space-compression cells. Structural validation plus
      the one timing-independent invariant — the quotient frontier can
      never be wider than the uncompressed one. *)
@@ -678,10 +731,10 @@ let check ?(path = "BENCH_cdse.json") () =
         fail "compromise_sweep.%d: committee_holds should flip at the 1-takeover threshold" k)
     compromise_budgets;
   Printf.printf
-    "check-json: %s OK (schema cdse-bench/6, %d micro keys, %d workloads x %d depths, %d domain-scaling cells with trace blocks, %d compression cells, %d compromise cells, counters validated)\n"
+    "check-json: %s OK (schema cdse-bench/7, %d micro keys, %d workloads x %d depths, %d layered + %d subtree scaling cells with trace blocks, %d compression cells, %d compromise cells, counters validated)\n"
     path (List.length micro_baseline) (List.length macro_baseline) (List.length depths)
-    (List.length par_workloads) (List.length compress_workloads)
-    (List.length compromise_budgets)
+    (List.length par_workloads) (List.length par_workloads)
+    (List.length compress_workloads) (List.length compromise_budgets)
 
 (* ------------------------------------------------------ trace-file check *)
 
@@ -689,7 +742,9 @@ let check ?(path = "BENCH_cdse.json") () =
    top-level object with a "traceEvents" array of complete spans ("X"),
    instants ("i") and thread-name metadata ("M") — never unbalanced
    begin/end ("B"/"E") pairs — with numeric coordinates, nonnegative
-   durations, and at least one engine layer span. The CI trace-smoke gate. *)
+   durations, and at least one engine work span (a layered-engine
+   [measure.layer] or a subtree-engine [measure.subtree]/[measure.seed],
+   whichever engine produced the trace). The CI trace-smoke gate. *)
 let check_trace path =
   let contents =
     try
@@ -719,7 +774,7 @@ let check_trace path =
     | Some (Jarr evs) -> evs
     | _ -> fail "missing array key \"traceEvents\""
   in
-  let spans = ref 0 and layers = ref 0 in
+  let spans = ref 0 and layers = ref 0 and subtrees = ref 0 in
   List.iteri
     (fun i ev ->
       let ctx = Printf.sprintf "traceEvents[%d]" i in
@@ -741,6 +796,8 @@ let check_trace path =
           | "X" ->
               incr spans;
               if String.equal name "measure.layer" then incr layers;
+              if String.equal name "measure.subtree" || String.equal name "measure.seed"
+              then incr subtrees;
               ignore (num "ts");
               ignore (num "pid");
               ignore (num "tid");
@@ -754,6 +811,8 @@ let check_trace path =
       | _ -> fail "%s: not an object" ctx)
     events;
   if !spans = 0 then fail "no complete spans";
-  if !layers = 0 then fail "no measure.layer spans";
-  Printf.printf "check-trace: %s OK (%d events, %d spans, %d layer spans)\n" path
-    (List.length events) !spans !layers
+  if !layers = 0 && !subtrees = 0 then
+    fail "no engine work spans (neither measure.layer nor measure.subtree/seed)";
+  Printf.printf
+    "check-trace: %s OK (%d events, %d spans, %d layer + %d subtree spans)\n" path
+    (List.length events) !spans !layers !subtrees

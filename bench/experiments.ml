@@ -954,16 +954,24 @@ let mut () =
 (* ----------------------------------------------------------------- par *)
 (* Multicore engine smoke: E7's widest workloads expanded sequentially and
    with --domains (default 2) domains. The check is conformance — the
-   parallel distribution must be Dist.equal to the sequential one — not
+   parallel distribution must be Dist.equal to the sequential one, for
+   the layered engine always and for the barrier-free subtree engine
+   whenever the run supports it (an active quotient needs layers) — not
    speedup, which depends on the host's core count (wall-clock is printed
-   so the recording host's scaling is visible). *)
+   so the recording host's scaling is visible; the timed parallel run
+   uses --engine, default auto). *)
 
 let par () =
   let domains = !Workbench.domains in
   let compress = !Workbench.compress in
+  let engine = !Workbench.engine in
+  let engine_name =
+    match engine with `Auto -> "auto" | `Layered -> "layered" | `Subtree -> "subtree"
+  in
   Pretty.section
     (Printf.sprintf
-       "PAR  multicore exact measure: %d domains, conformance + wall-clock%s" domains
+       "PAR  multicore exact measure: %d domains, engine %s, conformance + wall-clock%s"
+       domains engine_name
        (match compress with
        | `Off -> ""
        | `Hcons -> " (compress: hcons)"
@@ -984,12 +992,26 @@ let par () =
         in
         let par_d, tn =
           wall_it (fun () ->
-              Measure.exec_dist ~memo:true ~compress ~domains auto sched ~depth)
+              Measure.exec_dist ~engine ~memo:true ~compress ~domains auto sched ~depth)
         in
-        ok := !ok && Dist.equal seq par_d;
+        let layered_ok =
+          Dist.equal seq
+            (Measure.exec_dist ~engine:`Layered ~memo:true ~compress ~domains auto
+               sched ~depth)
+        in
+        let subtree_ok =
+          (* [`Subtree] rejects runs that need layer synchronization; the
+             uniform scheduler is memoryless, so an active quotient does. *)
+          compress = `Quotient
+          || Dist.equal seq
+               (Measure.exec_dist ~engine:`Subtree ~memo:true ~compress ~domains auto
+                  sched ~depth)
+        in
+        let identical = Dist.equal seq par_d && layered_ok && subtree_ok in
+        ok := !ok && identical;
         [ cell branching; cell depth; cell (Dist.size seq); ms t1; ms tn;
           Printf.sprintf "%.2f" (t1 /. Float.max 1e-9 tn);
-          (if Dist.equal seq par_d then "yes" else "NO") ])
+          (if identical then "yes" else "NO") ])
       [ (2, 8); (3, 6) ]
   in
   Pretty.table
@@ -999,7 +1021,7 @@ let par () =
     rows;
   let ok = record_check ~experiment:"PAR" !ok in
   Printf.printf
-    "claim: frontier sharding returns the bit-identical measure on every domain count\n\
+    "claim: both multicore engines return the bit-identical measure on every domain count\n\
      (speedup tracks the host's cores; determinism does not): %s\n" (verdict ok)
 
 let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);

@@ -27,6 +27,8 @@ let () =
      and the exec_dist_domains bench cells.
      --compress LEVEL: off | hcons | quotient, applied by the "par"
      experiment to both the sequential reference and the parallel run.
+     --engine E: auto | layered | subtree, the multicore engine of the
+     "par" experiment's timed parallel run.
      --compromise K: clamp the E18 compromise-budget sweep to the single
      budget K (default: sweep k = 0..3).
      --trace FILE: record a span trace of the experiment runs and write
@@ -53,6 +55,16 @@ let () =
            | other ->
                prerr_endline
                  ("--compress: expected off|hcons|quotient, got " ^ other);
+               exit 2);
+        extract_flags acc rest
+    | "--engine" :: e :: rest ->
+        (Workbench.engine :=
+           match e with
+           | "auto" -> `Auto
+           | "layered" -> `Layered
+           | "subtree" -> `Subtree
+           | other ->
+               prerr_endline ("--engine: expected auto|layered|subtree, got " ^ other);
                exit 2);
         extract_flags acc rest
     | a :: rest -> extract_flags (a :: acc) rest

@@ -27,6 +27,11 @@ let par_depth : int option ref = ref None
    check stays meaningful). Set by --compress. *)
 let compress : [ `Off | `Hcons | `Quotient ] ref = ref `Off
 
+(* Multicore engine for the "par" experiment's timed parallel run
+   (conformance is checked against both engines regardless). Set by
+   --engine. *)
+let engine : [ `Auto | `Layered | `Subtree ] ref = ref `Auto
+
 (* Compromise-budget override for the E18 sweep: [Some k] clamps the
    sweep to that single budget (the CI smoke runs one cell), [None]
    sweeps k = 0..3. Set by --compromise. *)

@@ -42,7 +42,7 @@ let push_global ev =
 (* ----------------------------------------------------- per-domain rings *)
 
 type buffer = {
-  buf_dom : int;
+  mutable buf_dom : int;
   ring : event array;
   mutable buf_len : int;
   mutable buf_dropped : int;
@@ -53,6 +53,40 @@ let null_event =
 
 let buffer ~dom =
   { buf_dom = dom; ring = Array.make !cap null_event; buf_len = 0; buf_dropped = 0 }
+
+(* Freelist of retired ring buffers. A traced engine run used to allocate a
+   [!cap]-sized event array per worker per run (~0.5 MB each at the default
+   capacity) — bench sweeps and the churn CLI churned megabytes per call.
+   [acquire_buffer] reuses a retired ring of the current capacity when one
+   is available (resetting its cursor, drop count and owning domain — stale
+   events beyond [buf_len] are never read) and allocates only otherwise;
+   buffers whose capacity no longer matches [!cap] (a [start ~capacity] in
+   between) are discarded rather than kept forever. The freelist is
+   mutex-guarded: acquisition happens per engine run, never on the
+   recording hot path. *)
+let buf_pool : buffer list ref = ref []
+let buf_pool_mutex = Mutex.create ()
+
+let acquire_buffer ~dom =
+  Mutex.lock buf_pool_mutex;
+  let matching, _stale = List.partition (fun b -> Array.length b.ring = !cap) !buf_pool in
+  let reused, rest =
+    match matching with b :: rest -> (Some b, rest) | [] -> (None, [])
+  in
+  buf_pool := rest;
+  Mutex.unlock buf_pool_mutex;
+  match reused with
+  | Some b ->
+      b.buf_dom <- dom;
+      b.buf_len <- 0;
+      b.buf_dropped <- 0;
+      b
+  | None -> buffer ~dom
+
+let release_buffer b =
+  Mutex.lock buf_pool_mutex;
+  buf_pool := b :: !buf_pool;
+  Mutex.unlock buf_pool_mutex
 
 let buf_key : buffer option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
@@ -233,6 +267,7 @@ type worker_row = {
   wr_dom : int;
   wr_busy_us : float;
   wr_wait_us : float;
+  wr_idle_us : float;
   wr_chunks : int;
 }
 
@@ -242,6 +277,7 @@ type summary = {
   sm_dropped : int;
   sm_total_us : float;
   sm_barrier_wait_frac : float;
+  sm_idle_frac : float;
   sm_merge_frac : float;
   sm_imbalance : float;
   sm_layers : layer_row list;
@@ -286,7 +322,7 @@ let summary () =
     let r =
       match Hashtbl.find_opt workers d with
       | Some r -> r
-      | None -> { wr_dom = d; wr_busy_us = 0.; wr_wait_us = 0.; wr_chunks = 0 }
+      | None -> { wr_dom = d; wr_busy_us = 0.; wr_wait_us = 0.; wr_idle_us = 0.; wr_chunks = 0 }
     in
     Hashtbl.replace workers d (f r)
   in
@@ -312,6 +348,14 @@ let summary () =
           update l (fun r -> { r with lr_chunks = r.lr_chunks + 1 });
           update_worker e.ev_dom (fun r ->
               { r with wr_busy_us = r.wr_busy_us +. e.ev_dur; wr_chunks = r.wr_chunks + 1 })
+      | "measure.subtree" ->
+          (* A claimed work unit of the barrier-free engine: a whole subtree,
+             not one layer chunk — attributed to the worker only. *)
+          chunk_durs := e.ev_dur :: !chunk_durs;
+          update_worker e.ev_dom (fun r ->
+              { r with wr_busy_us = r.wr_busy_us +. e.ev_dur; wr_chunks = r.wr_chunks + 1 })
+      | "measure.steal.idle" ->
+          update_worker e.ev_dom (fun r -> { r with wr_idle_us = r.wr_idle_us +. e.ev_dur })
       | "measure.layer.stats" ->
           update l (fun r -> { r with lr_stats = List.remove_assoc "layer" e.ev_args @ r.lr_stats })
       | _ -> ())
@@ -328,10 +372,14 @@ let summary () =
   let sum f rows = List.fold_left (fun acc r -> acc +. f r) 0. rows in
   let busy_total = sum (fun w -> w.wr_busy_us) worker_rows in
   let wait_total = sum (fun w -> w.wr_wait_us) worker_rows in
+  let idle_total = sum (fun w -> w.wr_idle_us) worker_rows in
   let layer_total = sum (fun r -> r.lr_total_us) layer_rows in
   let merge_total = sum (fun r -> r.lr_merge_us) layer_rows in
   let barrier_wait_frac =
     if busy_total +. wait_total <= 0. then 0. else wait_total /. (busy_total +. wait_total)
+  in
+  let idle_frac =
+    if busy_total +. idle_total <= 0. then 0. else idle_total /. (busy_total +. idle_total)
   in
   let merge_frac = if layer_total <= 0. then 0. else merge_total /. layer_total in
   let imbalance =
@@ -353,6 +401,7 @@ let summary () =
     sm_dropped = !dropped_count;
     sm_total_us = total_us;
     sm_barrier_wait_frac = barrier_wait_frac;
+    sm_idle_frac = idle_frac;
     sm_merge_frac = merge_frac;
     sm_imbalance = imbalance;
     sm_layers = layer_rows;
@@ -374,6 +423,8 @@ let pp_summary fmt s =
     s.sm_instants s.sm_total_us s.sm_dropped;
   fprintf fmt "barrier_wait_frac        %.3f  (worker time stalled at layer barriers)@,"
     s.sm_barrier_wait_frac;
+  fprintf fmt "idle_frac                %.3f  (worker time waiting for stealable work)@,"
+    s.sm_idle_frac;
   fprintf fmt "merge_frac               %.3f  (layer time in the deterministic merge)@,"
     s.sm_merge_frac;
   fprintf fmt "imbalance_max_over_mean  %.3f  (per-worker busy time, max / mean)@,"
@@ -397,11 +448,11 @@ let pp_summary fmt s =
   end;
   if s.sm_workers <> [] then begin
     fprintf fmt "per worker (us):@,";
-    fprintf fmt "  %5s %10s %10s %7s@," "dom" "busy" "wait" "chunks";
+    fprintf fmt "  %5s %10s %10s %10s %7s@," "dom" "busy" "wait" "idle" "chunks";
     List.iter
       (fun w ->
-        fprintf fmt "  %5d %10.1f %10.1f %7d@," w.wr_dom w.wr_busy_us w.wr_wait_us
-          w.wr_chunks)
+        fprintf fmt "  %5d %10.1f %10.1f %10.1f %7d@," w.wr_dom w.wr_busy_us
+          w.wr_wait_us w.wr_idle_us w.wr_chunks)
       s.sm_workers
   end;
   (match s.sm_chunk_us with

@@ -104,6 +104,20 @@ val buffer : dom:int -> buffer
     index, used as the Chrome [tid]). Capacity is the value given to the
     last {!start}. *)
 
+val acquire_buffer : dom:int -> buffer
+(** Like {!buffer}, but reuses a ring retired with {!release_buffer} when
+    one of the current capacity is available (its cursor, drop count and
+    owning domain are reset) and allocates only otherwise — the engines use
+    this so repeated traced runs stop churning a [capacity]-sized array per
+    worker per run. Retired rings whose capacity no longer matches the last
+    {!start} are discarded. Thread-safe (one mutex round-trip, off the
+    recording hot path). *)
+
+val release_buffer : buffer -> unit
+(** Return a buffer to the reuse freelist. Call after {!drain}, once the
+    buffer is no longer installed in any domain; the buffer must not be
+    used again until re-acquired. *)
+
 val with_buffer : buffer -> (unit -> 'a) -> 'a
 (** Install the buffer in {e this} domain's local storage for the duration
     of the callback, diverting every event it records (at any depth) into
@@ -144,10 +158,14 @@ val write_chrome : string -> unit
 
 (** {2 Self-profiling summary}
 
-    Parsed from the engine's span vocabulary ([measure.layer],
-    [measure.expand], [measure.chunk], [measure.barrier.wait],
-    [measure.merge], [quotient.merge], [measure.truncate],
-    [measure.layer.stats]); foreign spans are counted but not
+    Parsed from the engine's span vocabulary — layered engine:
+    [measure.layer], [measure.expand], [measure.chunk],
+    [measure.barrier.wait], [measure.merge], [quotient.merge],
+    [measure.truncate], [measure.layer.stats]; barrier-free subtree
+    engine: [measure.subtree] (one claimed work unit — a whole subtree —
+    counted as a chunk on its worker's row) and [measure.steal.idle]
+    (a worker waiting for stealable work, aggregated into
+    {!summary.sm_idle_frac}). Foreign spans are counted but not
     attributed. When one trace covers several engine runs, rows with the
     same layer index aggregate. *)
 
@@ -165,9 +183,10 @@ type layer_row = {
 
 type worker_row = {
   wr_dom : int;
-  wr_busy_us : float;  (** chunk-span time *)
-  wr_wait_us : float;  (** barrier-wait time *)
-  wr_chunks : int;
+  wr_busy_us : float;  (** chunk-span + subtree-span time *)
+  wr_wait_us : float;  (** barrier-wait time (layered engine) *)
+  wr_idle_us : float;  (** steal-idle time (subtree engine) *)
+  wr_chunks : int;  (** claimed work units: layer chunks or subtrees *)
 }
 
 type summary = {
@@ -176,9 +195,14 @@ type summary = {
   sm_dropped : int;
   sm_total_us : float;  (** last event end − first event start *)
   sm_barrier_wait_frac : float;
-      (** Σ barrier-wait ∕ (Σ barrier-wait + Σ chunk busy): the fraction
-          of worker time stalled at layer barriers. 0 when no parallel
-          section was traced. *)
+      (** Σ barrier-wait ∕ (Σ barrier-wait + Σ busy): the fraction of
+          worker time stalled at layer barriers. 0 when no parallel
+          section was traced — in particular for the barrier-free subtree
+          engine, which has no barriers. *)
+  sm_idle_frac : float;
+      (** Σ steal-idle ∕ (Σ steal-idle + Σ busy): the fraction of worker
+          time spent waiting for stealable work in the subtree engine.
+          0 for layered/sequential runs. *)
   sm_merge_frac : float;  (** Σ merge ∕ Σ layer time; 0 without layers *)
   sm_imbalance : float;
       (** max ∕ mean of per-worker total busy time — chunk-load imbalance

@@ -3,31 +3,34 @@ open Cdse_psioa
 
 type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
 type compress = Par_measure.compress
+type engine = Par_measure.engine
 
 (* The cone-expansion engine itself lives in {!Par_measure}, which owns
-   both the sequential path (domains = 1, the historical implementation,
-   byte for byte) and the multicore path (frontier layers sharded across a
-   pool of OCaml 5 domains, bit-identical results — see parmeasure.mli for
-   the determinism contract). This module keeps the measure-theoretic
-   surface: cones, traces, reachability, expectations, sampling. *)
+   the sequential path (domains = 1, the historical implementation, byte
+   for byte) and the two multicore paths (barrier-free subtree
+   work-stealing for unbudgeted runs, layer-synchronous sharding when
+   budgets or the quotient need layers) — see par_measure.mli for the
+   determinism contract and the engine dispatch. This module keeps the
+   measure-theoretic surface: cones, traces, reachability, expectations,
+   sampling. *)
 
 (* Every exact entry point funnels through here, so one span covers the
-   whole engine run; the per-layer spans inside it come from Par_measure. *)
-let exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress ?track auto
-    sched ~depth =
+   whole engine run; the spans inside it come from Par_measure. *)
+let exec_dist_budgeted ?engine ?memo ?max_execs ?max_width ?domains ?compress
+    ?track auto sched ~depth =
   Cdse_obs.Trace.span "measure.exec_dist"
     ~args:(fun () ->
       [ ("depth", string_of_int depth);
         ("domains", string_of_int (Option.value ~default:1 domains)) ])
     (fun () ->
-      Par_measure.exec_dist_budgeted ?memo ?max_execs ?max_width ?domains
+      Par_measure.exec_dist_budgeted ?engine ?memo ?max_execs ?max_width ?domains
         ?compress ?track auto sched ~depth)
 
-let exec_dist ?memo ?max_execs ?max_width ?domains ?compress ?track auto sched
-    ~depth =
+let exec_dist ?engine ?memo ?max_execs ?max_width ?domains ?compress ?track auto
+    sched ~depth =
   match
-    exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?compress ?track auto
-      sched ~depth
+    exec_dist_budgeted ?engine ?memo ?max_execs ?max_width ?domains ?compress
+      ?track auto sched ~depth
   with
   | `Exact d | `Truncated (d, _) -> d
 

@@ -57,12 +57,17 @@
 
     {2 Parallelism}
 
-    [?domains n] (default 1) expands each cone frontier layer across [n]
-    OCaml 5 domains via {!Par_measure}. The result is bit-identical to the
-    sequential run — same distribution, same [`Exact]/[`Truncated] tag,
-    same deficit, conserved {!Cdse_obs.Obs} totals — for every domain
-    count; see {!Par_measure} for the determinism contract. [domains = 1]
-    runs the historical sequential code path unchanged. *)
+    [?domains n] (default 1) expands the cone across [n] OCaml 5 domains
+    via {!Par_measure}. Unbudgeted [`Off]/[`Hcons] runs use the
+    barrier-free {e subtree} engine (workers own whole cone subtrees and
+    steal work cooperatively, one merge at the end); runs that need layer
+    synchronization ([?max_execs] / [?max_width] budgets, active
+    [`Quotient]) use the layer-synchronous engine; [?engine] overrides the
+    dispatch. Either way the result is bit-identical to the sequential
+    run — same distribution, same [`Exact]/[`Truncated] tag, same deficit,
+    conserved {!Cdse_obs.Obs} totals — for every domain count; see
+    {!Par_measure} for the determinism contract. [domains = 1] runs the
+    historical sequential code path unchanged. *)
 
 open Cdse_prob
 open Cdse_psioa
@@ -76,7 +81,13 @@ type compress = Par_measure.compress
 (** [`Off | `Hcons | `Quotient] — see the module docs above and
     {!Par_measure.compress}. *)
 
+type engine = Par_measure.engine
+(** [`Auto | `Layered | `Subtree] — multicore engine selector, see
+    {!Par_measure.engine}. [`Auto] (the default) picks the barrier-free
+    subtree engine whenever the run needs no layer synchronization. *)
+
 val exec_dist :
+  ?engine:engine ->
   ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
   ?compress:compress -> ?track:(Value.t -> bool) ->
   Psioa.t -> Scheduler.t -> depth:int ->
@@ -104,6 +115,7 @@ val exec_dist :
     distinguish scheduler halting from budget truncation. *)
 
 val exec_dist_budgeted :
+  ?engine:engine ->
   ?memo:bool -> ?max_execs:int -> ?max_width:int -> ?domains:int ->
   ?compress:compress -> ?track:(Value.t -> bool) ->
   Psioa.t -> Scheduler.t -> depth:int ->

@@ -36,18 +36,32 @@ let c_q_classes = Obs.counter "quotient.classes"
 let c_q_merged = Obs.counter "quotient.merged"
 let g_q_mass = Obs.gauge "quotient.mass_merged"
 
+(* Subtree-engine instruments. [measure.subtree.roots] counts work units
+   claimed off the shared root cursor, [measure.subtree.steals] work units
+   claimed from the donation queue by an otherwise-idle worker; their ratio
+   is the steal fraction reported in the bench cells. Worker counters,
+   accumulated through the per-domain shards. The layered-engine layer
+   instruments ([measure.layers], [measure.frontier.width]) are {e not}
+   emitted by the subtree engine — it has no layers. *)
+let c_sub_roots = Obs.counter "measure.subtree.roots"
+let c_sub_steals = Obs.counter "measure.subtree.steals"
+
 (* Per-layer memo/hcons/choice-cache hit deltas, emitted as a
    [measure.layer.stats] instant for the trace summary. Reads the global
    counter records, so it must run on the coordinating domain after worker
-   shards are merged — the layer barrier. One probe per engine run (the
-   deltas are against the previous layer of the same run). *)
+   shards are merged — the layer barrier. One probe per engine run; the
+   deltas are against the previous layer of the same run, so [prev] must
+   start from the counters' values {e at probe creation} (the run start).
+   Starting from zero — the historical bug — made the first layer of every
+   run after the first report the whole process history: two engine runs in
+   one process corrupted each other's [measure.layer.stats] instants. *)
 let layer_stats_probe () =
   let tracked =
     [| ("choice_hit", "measure.choice.hit"); ("choice_miss", "measure.choice.miss");
        ("memo_hit", "psioa.memo.step.hit"); ("memo_miss", "psioa.memo.step.miss");
        ("hcons_hit", "hcons.hits"); ("hcons_miss", "hcons.misses") |]
   in
-  let prev = Array.make (Array.length tracked) 0 in
+  let prev = Array.map (fun (_, name) -> Obs.counter_value name) tracked in
   fun ~layer ->
     if Trace.enabled () then begin
       let args = ref [] in
@@ -69,14 +83,24 @@ let layer_stats_probe () =
 (* A reusable barrier-style pool: [size - 1] spawned domains plus the
    calling domain (worker 0). [run] hands every worker the same job and
    returns once all have finished — one lock round-trip per worker per
-   layer, nothing on the per-entry hot path. Jobs must not raise (the
-   engine wraps worker bodies and reports failures out of band). *)
+   layer, nothing on the per-entry hot path.
+
+   Raise safety: a job that raises — including from wrappers around the
+   engine body such as [Obs.with_shard] / [Trace.with_buffer] — must not
+   leave the pool stuck. Historically a worker raise skipped the [pending]
+   decrement and [run] waited on [finished] forever. Each worker now
+   catches its job's exception into a per-worker slot and decrements
+   [pending] unconditionally; [run] always completes the barrier, then
+   re-raises the recorded exception of the {e smallest} worker id — a
+   deterministic choice independent of OS scheduling — leaving the pool
+   reusable for further [run]s. *)
 module Pool = struct
   type t = {
     size : int;
     mutex : Mutex.t;
     start : Condition.t;
     finished : Condition.t;
+    errs : exn option array;
     mutable job : (int -> unit) option;
     mutable epoch : int;
     mutable pending : int;
@@ -100,7 +124,7 @@ module Pool = struct
         epoch := t.epoch;
         let job = Option.get t.job in
         Mutex.unlock t.mutex;
-        job wid;
+        (try job wid with exn -> t.errs.(wid) <- Some exn);
         Mutex.lock t.mutex;
         t.pending <- t.pending - 1;
         if t.pending = 0 then Condition.broadcast t.finished;
@@ -111,28 +135,37 @@ module Pool = struct
   let create size =
     let t =
       { size; mutex = Mutex.create (); start = Condition.create ();
-        finished = Condition.create (); job = None; epoch = 0; pending = 0;
-        stop = false; doms = [] }
+        finished = Condition.create (); errs = Array.make size None; job = None;
+        epoch = 0; pending = 0; stop = false; doms = [] }
     in
     t.doms <- List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
     t
+
+  let reraise_first t =
+    let rec first i =
+      if i >= t.size then None
+      else match t.errs.(i) with Some _ as e -> e | None -> first (i + 1)
+    in
+    match first 0 with Some exn -> raise exn | None -> ()
 
   let run t job =
     if t.size = 1 then job 0
     else begin
       Mutex.lock t.mutex;
+      Array.fill t.errs 0 t.size None;
       t.job <- Some job;
       t.pending <- t.size - 1;
       t.epoch <- t.epoch + 1;
       Condition.broadcast t.start;
       Mutex.unlock t.mutex;
-      job 0;
+      (try job 0 with exn -> t.errs.(0) <- Some exn);
       Mutex.lock t.mutex;
       while t.pending > 0 do
         Condition.wait t.finished t.mutex
       done;
       t.job <- None;
-      Mutex.unlock t.mutex
+      Mutex.unlock t.mutex;
+      reraise_first t
     end
 
   let shutdown t =
@@ -356,21 +389,27 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
   let qmass = ref Rat.zero in
   let choices = Array.map (fun a -> choice_fn ~memo a sched) autos in
   let shards = Array.init n_workers (fun _ -> Obs.new_shard ()) in
-  (* Worker trace buffers mirror the Obs shards: allocated once per engine
-     run, and only when tracing is already on — enabling tracing mid-run is
+  (* Worker trace buffers mirror the Obs shards: acquired once per engine
+     run from the {!Trace} freelist (so repeated traced runs reuse the
+     rings instead of churning a capacity-sized array per worker per run),
+     and only when tracing is already on — enabling tracing mid-run is
      unsupported (same caveat as Obs histograms). [busy_end.(w)] is the
      timestamp at which worker [w] ran out of chunks; the coordinator turns
      the gap up to its own post-barrier clock read into a synthetic
      [measure.barrier.wait] span on the worker's timeline. *)
   let tracing = Trace.enabled () in
   let tbufs =
-    if tracing then Array.init n_workers (fun w -> Trace.buffer ~dom:w)
+    if tracing then Array.init n_workers (fun w -> Trace.acquire_buffer ~dom:w)
     else [||]
   in
   let busy_end = Array.make n_workers 0. in
   let layer_stats = layer_stats_probe () in
   let pool = Pool.create n_workers in
-  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown pool;
+      if tracing then Array.iter Trace.release_buffer tbufs)
+  @@ fun () ->
   let rec go step frontier n_finished finished lost =
     let n = Array.length frontier in
     if step = depth || n = 0 then finish (Array.to_list frontier) finished lost
@@ -511,25 +550,328 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
   if quotient && Obs.enabled () then Obs.set_gauge g_q_mass (Rat.to_string !qmass);
   res
 
+(* -------------------------------------- barrier-free subtree engine *)
+
+(* The smaller of two recorded failures, by [Exec.compare] on the failing
+   execution — a total order on cone nodes, so the surviving failure is
+   independent of the worker count, the donation pattern and the OS
+   schedule. *)
+let min_fail a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (e1, _), Some (e2, _) -> if Exec.compare e1 e2 <= 0 then a else b
+
+(* One cone node's expansion, shared by the seed phase and the workers.
+   The halting mass and the children are computed first and committed
+   together by the caller on [Ok]; a raise from the scheduler or a
+   transition lookup yields [Error] and commits {e nothing} — the failing
+   node contributes neither mass nor children. Descendants of failing
+   nodes are therefore never visited, so the visited node set — and with
+   it the set of {e minimal} failing nodes — is a function of the model
+   alone, not of how the tree was partitioned. *)
+let expand_node auto choice_of (e, p) =
+  match
+    let choice = choice_of e in
+    let h =
+      if Dist.is_proper choice then Rat.zero else Rat.mul p (Dist.deficit choice)
+    in
+    let q = Exec.lstate e in
+    let acc = ref [] in
+    Dist.iter
+      (fun act pa ->
+        let eta = Psioa.step auto q act in
+        let pa = Rat.mul p pa in
+        Dist.iter
+          (fun q' pq -> acc := (Exec.extend e act q', Rat.mul pa pq) :: !acc)
+          eta)
+      choice;
+    (h, !acc)
+  with
+  | exception exn -> Error exn
+  | res -> Ok res
+
+(* Barrier-free expansion for unbudgeted [`Off]/[`Hcons] runs: no layer
+   barriers, no per-layer merge. The coordinator first grows the frontier
+   breadth-first ({e seed phase}, sequential) until it is wide enough to
+   feed every worker several roots, sorts the roots by
+   [(prob desc, Exec.compare asc)] — the same total order as budget
+   pruning, so high-mass subtrees are handed out first — and then lets the
+   pool loose: workers claim one root at a time off an atomic cursor and
+   expand the whole subtree depth-first with their own memo/hcons/choice
+   caches, accumulating local finished/alive lists. Load balancing is
+   cooperative work donation: a busy worker that sees idle workers
+   ([hungry] > 0) donates the {e shallowest} half of its stack — the
+   largest remaining subtrees — to a shared overflow queue; idle workers
+   take the queue's contents as their next work unit. The single merge at
+   the end concatenates the per-worker lists and normalizes through
+   {!Dist.make} (sorted by [Exec.compare], exact rational mass merging) —
+   permutation-invariant, hence bit-identical to the sequential engine.
+
+   Termination: [busy] counts workers holding work, guarded by [qm]. A
+   worker goes idle only with the cursor exhausted and the queue empty;
+   the last one to do so ([busy] = 0) broadcasts completion. A donor is
+   busy for the whole donation, so the last idle transition cannot race
+   with a concurrent donation. *)
+let subtree_exec_dist ~domains ~memo ~compress auto sched ~depth =
+  let n_workers = max 2 (min domains 64) in
+  let autos =
+    Array.init n_workers (fun _ ->
+        let a = wrap_compress ~compress auto in
+        if memo then Psioa.memoize a else a)
+  in
+  let choices = Array.map (fun a -> choice_fn ~memo a sched) autos in
+  let shards = Array.init n_workers (fun _ -> Obs.new_shard ()) in
+  let tracing = Trace.enabled () in
+  let tbufs =
+    if tracing then Array.init n_workers (fun w -> Trace.acquire_buffer ~dom:w)
+    else [||]
+  in
+  Fun.protect
+    ~finally:(fun () -> if tracing then Array.iter Trace.release_buffer tbufs)
+  @@ fun () ->
+  (* Seed phase: breadth-first on the coordinator (worker 0's caches) until
+     the frontier can feed every worker several subtrees. Failures are
+     recorded, not raised: the engine always completes the surviving work
+     first so the raised failure is the deterministic minimum. *)
+  let seed_target = n_workers * 8 in
+  let seed_finished = ref [] in
+  let seed_fail = ref None in
+  let seed_layers = ref 0 in
+  let rec seed step alive =
+    if step = depth || alive = [] || List.length alive >= seed_target then alive
+    else begin
+      incr seed_layers;
+      let next = ref [] in
+      List.iter
+        (fun ((e, _) as entry) ->
+          match expand_node autos.(0) choices.(0) entry with
+          | Error exn -> seed_fail := min_fail !seed_fail (Some (e, exn))
+          | Ok (h, kids) ->
+              if not (Rat.is_zero h) then begin
+                Obs.incr c_finished;
+                seed_finished := (e, h) :: !seed_finished
+              end;
+              next := List.rev_append kids !next)
+        alive;
+      seed (step + 1) !next
+    end
+  in
+  let seed_frontier =
+    Trace.span
+      ~args:(fun () -> [ ("layers", string_of_int !seed_layers) ])
+      "measure.seed"
+      (fun () -> seed 0 [ (Exec.init (Psioa.start auto), Rat.one) ])
+  in
+  if seed_frontier = [] || Exec.length (fst (List.hd seed_frontier)) >= depth
+  then begin
+    (* The cone emptied or bottomed out before growing wide enough — the
+       seed phase already did all the work. *)
+    (match !seed_fail with Some (_, exn) -> raise exn | None -> ());
+    finish seed_frontier !seed_finished Rat.zero
+  end
+  else begin
+    let roots = Array.of_list seed_frontier in
+    Array.sort
+      (fun (e1, p1) (e2, p2) ->
+        let c = Rat.compare p2 p1 in
+        if c <> 0 then c else Exec.compare e1 e2)
+      roots;
+    let n_roots = Array.length roots in
+    let next = Atomic.make 0 in
+    let qm = Mutex.create () in
+    let qc = Condition.create () in
+    let overflow = ref [] in
+    let hungry = Atomic.make 0 in
+    let busy = ref n_workers in
+    let all_done = ref false in
+    let outs = Array.make n_workers [] in
+    let finisheds = Array.make n_workers [] in
+    let fails = Array.make n_workers None in
+    let pool = Pool.create n_workers in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    Pool.run pool (fun w ->
+        let auto = autos.(w) and choice_of = choices.(w) in
+        let body () =
+          let stack = ref [] in
+          let out = ref [] and fin = ref [] in
+          let am_busy = ref true in
+          let donate () =
+            if Atomic.get hungry > 0 then
+              match !stack with
+              | [] | [ _ ] -> ()
+              | s ->
+                  (* Keep the top (deepest) entries, donate the bottom
+                     half — the shallowest nodes, i.e. the largest
+                     remaining subtrees. Donation is rare (only while
+                     somebody is idle), so the list split is off the
+                     common path. *)
+                  let n = List.length s in
+                  let rec split i l =
+                    if i = 0 then ([], l)
+                    else
+                      match l with
+                      | [] -> ([], [])
+                      | x :: tl ->
+                          let k, d = split (i - 1) tl in
+                          (x :: k, d)
+                  in
+                  let kept, donated = split (n - (n / 2)) s in
+                  stack := kept;
+                  Mutex.lock qm;
+                  overflow := List.rev_append donated !overflow;
+                  Condition.broadcast qc;
+                  Mutex.unlock qm
+          in
+          let run_unit src entries =
+            let tok = Trace.begin_span "measure.subtree" in
+            let nodes = ref 0 in
+            stack := entries;
+            let running = ref true in
+            while !running do
+              match !stack with
+              | [] -> running := false
+              | ((e, _) as entry) :: rest ->
+                  stack := rest;
+                  incr nodes;
+                  if Exec.length e >= depth then out := entry :: !out
+                  else begin
+                    donate ();
+                    match expand_node auto choice_of entry with
+                    | Error exn -> fails.(w) <- min_fail fails.(w) (Some (e, exn))
+                    | Ok (h, kids) ->
+                        if not (Rat.is_zero h) then begin
+                          Obs.incr c_finished;
+                          fin := (e, h) :: !fin
+                        end;
+                        stack := List.rev_append kids !stack
+                  end
+            done;
+            Trace.end_span
+              ~args:(fun () -> [ ("src", src); ("nodes", string_of_int !nodes) ])
+              tok
+          in
+          let rec claim () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n_roots then begin
+              Obs.incr c_sub_roots;
+              run_unit (Printf.sprintf "root:%d" i) [ roots.(i) ];
+              claim ()
+            end
+            else idle ()
+          and idle () =
+            Mutex.lock qm;
+            if !overflow <> [] then begin
+              let work = !overflow in
+              overflow := [];
+              Mutex.unlock qm;
+              Obs.incr c_sub_steals;
+              run_unit "steal" work;
+              claim ()
+            end
+            else begin
+              busy := !busy - 1;
+              am_busy := false;
+              if !busy = 0 then begin
+                all_done := true;
+                Condition.broadcast qc;
+                Mutex.unlock qm
+              end
+              else begin
+                Atomic.incr hungry;
+                let tok = Trace.begin_span "measure.steal.idle" in
+                let rec wait () =
+                  if !all_done then begin
+                    Atomic.decr hungry;
+                    Mutex.unlock qm;
+                    Trace.end_span tok
+                  end
+                  else if !overflow <> [] then begin
+                    let work = !overflow in
+                    overflow := [];
+                    busy := !busy + 1;
+                    am_busy := true;
+                    Atomic.decr hungry;
+                    Mutex.unlock qm;
+                    Trace.end_span tok;
+                    Obs.incr c_sub_steals;
+                    run_unit "steal" work;
+                    claim ()
+                  end
+                  else begin
+                    Condition.wait qc qm;
+                    wait ()
+                  end
+                in
+                wait ()
+              end
+            end
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              outs.(w) <- !out;
+              finisheds.(w) <- !fin;
+              if !am_busy then begin
+                (* Exceptional escape past the claim loop (e.g. an
+                   allocation failure): keep the termination protocol
+                   sound so the surviving workers still finish. *)
+                Mutex.lock qm;
+                busy := !busy - 1;
+                if !busy = 0 then begin
+                  all_done := true;
+                  Condition.broadcast qc
+                end;
+                Mutex.unlock qm
+              end)
+            claim
+        in
+        Obs.with_shard shards.(w) (fun () ->
+            if tracing then Trace.with_buffer tbufs.(w) body else body ()));
+    Array.iter Obs.merge_shard shards;
+    if tracing then Array.iter Trace.drain tbufs;
+    (match Array.fold_left min_fail !seed_fail fails with
+    | Some (_, exn) -> raise exn
+    | None -> ());
+    Trace.span "measure.merge" @@ fun () ->
+    let alive = Array.fold_left (fun acc o -> List.rev_append o acc) [] outs in
+    let finished =
+      Array.fold_left (fun acc f -> List.rev_append f acc) !seed_finished finisheds
+    in
+    finish alive finished Rat.zero
+  end
+
 (* ---------------------------------------------------------- entry points *)
 
-let exec_dist_budgeted ?(memo = false) ?max_execs ?max_width ?(domains = 1) ?chunk
-    ?(compress = `Off) ?track auto sched ~depth =
+type engine = [ `Auto | `Layered | `Subtree ]
+
+let needs_layers ~max_execs ~max_width ~compress sched =
+  max_execs <> None || max_width <> None || quotient_on ~compress sched
+
+let exec_dist_budgeted ?(engine = `Auto) ?(memo = false) ?max_execs ?max_width
+    ?(domains = 1) ?chunk ?(compress = `Off) ?track auto sched ~depth =
+  let layered = needs_layers ~max_execs ~max_width ~compress sched in
+  (match engine with
+  | `Subtree when layered ->
+      invalid_arg
+        "Par_measure: the `Subtree engine supports neither ?max_execs/?max_width \
+         budgets nor an active `Quotient (use `Layered or `Auto)"
+  | _ -> ());
   if domains <= 1 then
     seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sched
       ~depth
-  else
+  else if layered || engine = `Layered then
     par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
       ?max_width auto sched ~depth
+  else subtree_exec_dist ~domains ~memo ~compress auto sched ~depth
 
-let exec_dist ?memo ?max_execs ?max_width ?domains ?chunk ?compress ?track auto sched
-    ~depth =
+let exec_dist ?engine ?memo ?max_execs ?max_width ?domains ?chunk ?compress ?track
+    auto sched ~depth =
   match
-    exec_dist_budgeted ?memo ?max_execs ?max_width ?domains ?chunk ?compress ?track
-      auto sched ~depth
+    exec_dist_budgeted ?engine ?memo ?max_execs ?max_width ?domains ?chunk ?compress
+      ?track auto sched ~depth
   with
   | `Exact d | `Truncated (d, _) -> d
 
 module For_tests = struct
   let truncate_entries = truncate_entries
+  module Pool = Pool
 end

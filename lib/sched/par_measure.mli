@@ -1,18 +1,32 @@
 (** Multicore exact-measure engine (OCaml 5 domains).
 
-    The cone expansion of {!Measure.exec_dist} proceeds layer by layer, and
-    each frontier execution's one-step extension is independent of every
-    other's — embarrassingly parallel work. This module shards each layer
-    across a reusable pool of OCaml 5 [Domain]s: workers claim chunks of
-    the frontier array off an atomic cursor (chunked self-scheduling, so
-    fast workers take over the remainder of slow ones), accumulate into
-    per-domain state, and the coordinating domain merges the per-entry
-    results in frontier order at the layer barrier.
+    Each frontier execution's one-step extension is independent of every
+    other's — embarrassingly parallel work. This module ships two
+    multicore engines over a reusable pool of OCaml 5 [Domain]s:
+
+    - the {b barrier-free subtree engine} (default for unbudgeted
+      [`Off]/[`Hcons] runs): the coordinator grows the frontier
+      breadth-first until it holds several subtree roots per worker, then
+      workers claim whole {e subtrees} — one root at a time off an atomic
+      cursor — and expand them depth-first to the full remaining depth
+      with their own memo/hcons/choice caches, with no synchronization
+      until one canonical merge at the very end. Load balancing is
+      cooperative work {e donation}: a busy worker that observes idle
+      workers donates the shallowest half of its pending stack (the
+      largest remaining subtrees) to a shared overflow queue.
+    - the {b layered engine} (selected automatically whenever a run needs
+      layer synchronization: [?max_execs] / [?max_width] budgets, or
+      [`Quotient] compression with a memoryless scheduler): workers claim
+      chunks of each frontier layer off an atomic cursor and the
+      coordinating domain merges the per-entry results in frontier order
+      at the layer barrier, so per-layer budget pruning and quotienting
+      see exactly the sequential frontier.
 
     {2 Determinism contract}
 
-    The result is {b bit-identical to the sequential engine}, for every
-    domain count, chunk size and OS scheduling of the workers:
+    The result of {e either} engine is {b bit-identical to the sequential
+    engine}, for every domain count, chunk size, donation pattern and OS
+    scheduling of the workers:
 
     - the returned distribution satisfies {!Cdse_prob.Dist.equal} with the
       sequential one {e and} has the same in-memory normal form (entries
@@ -23,14 +37,29 @@
       identical — budget pruning sorts by the total order
       [(probability descending, Exec.compare ascending)], which does not
       depend on the arrival order of frontier entries;
-    - the {!Cdse_obs.Obs} engine totals are conserved:
-      [measure.layers], [measure.finished], [measure.truncated], the
-      [measure.frontier.width] histogram and the
-      [measure.truncation_deficit] gauge are identical to a sequential
-      run, and the memoization and choice-cache counters are conserved as
-      {e sums} ([hit + miss] = one lookup per query; the split between
-      hit and miss depends on the domain count, because each worker warms
-      its own cache).
+    - the {!Cdse_obs.Obs} engine totals are conserved: [measure.finished]
+      and the [measure.truncation_deficit] gauge are identical to a
+      sequential run for both engines, and the memoization and
+      choice-cache counters are conserved as {e sums} ([hit + miss] = one
+      lookup per cone node; the split between hit and miss depends on the
+      domain count, because each worker warms its own cache). The layered
+      engine additionally conserves the per-layer instruments
+      ([measure.layers], [measure.truncated], the
+      [measure.frontier.width] histogram); the subtree engine has no
+      layers and does not emit them — it reports
+      [measure.subtree.roots] / [measure.subtree.steals] instead (work
+      units claimed from the root cursor / the donation queue; their
+      split, unlike their purpose, {e does} vary with the schedule).
+
+    If the scheduler (or a transition lookup) raises, the subtree engine
+    completes the surviving work and re-raises the failure of the
+    [Exec.compare]-least {e minimal} failing execution (a failing node's
+    subtree is never entered, so the minimal failing set is partition-
+    independent); the layered engine raises the first failure in frontier
+    order, which is also the sequential engine's. When exactly one
+    execution fails — the common debugging situation — all engines and
+    domain counts surface the same exception. Either way the engines stay
+    reusable after a raise.
 
     Worker domains never touch shared mutable state on the hot path: each
     gets its own {!Cdse_psioa.Psioa.memoize} instance and validated-choice
@@ -69,7 +98,23 @@ type compress = [ `Off | `Hcons | `Quotient ]
       total order. For history-dependent schedulers [`Quotient] silently
       degrades to [`Hcons]. *)
 
+type engine = [ `Auto | `Layered | `Subtree ]
+(** Multicore engine selector (ignored when [domains <= 1] — that is
+    always the sequential loop):
+
+    - [`Auto] (default): the barrier-free subtree engine whenever the run
+      is unbudgeted and quotient-free, the layered engine otherwise — the
+      fastest engine that supports the run, never a behavior change.
+    - [`Layered]: force the layer-synchronous engine (determinism tests,
+      benchmarking the barrier cost, [?chunk] experiments).
+    - [`Subtree]: force the subtree engine. [Invalid_argument] if the run
+      needs layer synchronization ([?max_execs], [?max_width], or
+      [`Quotient] with a {!Scheduler.is_memoryless} scheduler — with a
+      history-dependent scheduler [`Quotient] degrades to [`Hcons] and the
+      subtree engine applies). *)
+
 val exec_dist_budgeted :
+  ?engine:engine ->
   ?memo:bool ->
   ?max_execs:int ->
   ?max_width:int ->
@@ -84,10 +129,12 @@ val exec_dist_budgeted :
 (** Like {!Measure.exec_dist_budgeted}, expanded on [?domains] (default 1,
     clamped to [64]) OCaml domains: the calling domain coordinates and
     works, [domains - 1] are spawned for the call and joined before it
-    returns. [?chunk] overrides the number of frontier entries a worker
-    claims per cursor fetch (default: frontier size / (domains × 8),
-    at least 1) — a tuning and test knob; any value yields the same
-    result, see the determinism contract above.
+    returns. [?engine] selects between the two multicore engines, see
+    {!type:engine}. [?chunk] overrides the number of frontier entries a
+    worker claims per cursor fetch in the {e layered} engine (default:
+    frontier size / (domains × 8), at least 1; ignored by the subtree
+    engine) — a tuning and test knob; any value yields the same result,
+    see the determinism contract above.
 
     [?compress] (default [`Off]) selects the state-space compression
     level; the determinism contract extends to every level — for a fixed
@@ -98,6 +145,7 @@ val exec_dist_budgeted :
     ignored at other levels. *)
 
 val exec_dist :
+  ?engine:engine ->
   ?memo:bool ->
   ?max_execs:int ->
   ?max_width:int ->
@@ -120,4 +168,22 @@ module For_tests : sig
   (** The budget-pruning step, exposed so the regression suite can verify
       that permuting the frontier leaves the kept entries and dropped mass
       unchanged. *)
+
+  module Pool : sig
+    type t
+
+    val create : int -> t
+    (** [size - 1] spawned worker domains plus the caller. *)
+
+    val run : t -> (int -> unit) -> unit
+    (** Run the job on every worker (ids [0 .. size-1], the caller is 0)
+        and wait for all of them. If jobs raise, every worker still
+        completes the barrier and [run] re-raises the exception of the
+        smallest worker id; the pool stays reusable. *)
+
+    val shutdown : t -> unit
+  end
+  (** The internal domain pool, exposed so the regression suite can pin
+      its raise-safety: a raising job must neither deadlock [run] nor
+      poison the pool for subsequent runs. *)
 end

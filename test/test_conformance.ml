@@ -37,6 +37,18 @@ let test_compress : Measure.compress =
   | Some "quotient" -> `Quotient
   | _ -> `Off
 
+(* Multicore engines pitted against the sequential reference on the
+   unbudgeted paths. Both by default; CDSE_TEST_ENGINE pins one so a CI
+   leg can replay the whole corpus on the barrier-free subtree engine (or
+   the layered one) alone. Budgeted and quotient-compressed runs always go
+   through the layered engine regardless — that dispatch is the
+   [Par_measure] contract, not a test knob. *)
+let test_engines : Measure.engine list =
+  match Sys.getenv_opt "CDSE_TEST_ENGINE" with
+  | Some "layered" -> [ `Layered ]
+  | Some "subtree" -> [ `Subtree ]
+  | _ -> [ `Layered; `Subtree ]
+
 (* ------------------------------------------------------------ scenarios *)
 
 (* A conformance case is four small integers; everything else is derived
@@ -176,14 +188,22 @@ let conforms case =
   && Dist.equal seq (Measure.exec_dist ~memo:true auto sched ~depth)
   && List.for_all
        (fun domains ->
-         Dist.equal seq (Measure.exec_dist ~domains auto sched ~depth)
-         && Dist.equal seq (Measure.exec_dist ~memo:true ~domains auto sched ~depth))
+         List.for_all
+           (fun engine ->
+             Dist.equal seq (Measure.exec_dist ~engine ~domains auto sched ~depth)
+             && Dist.equal seq
+                  (Measure.exec_dist ~engine ~memo:true ~domains auto sched ~depth))
+           test_engines)
        test_domains
   && items_identical seq (Measure.exec_dist ~compress:`Hcons auto sched ~depth)
   && List.for_all
        (fun domains ->
-         Dist.equal seq
-           (Measure.exec_dist ~compress:`Hcons ~memo:true ~domains auto sched ~depth))
+         List.for_all
+           (fun engine ->
+             Dist.equal seq
+               (Measure.exec_dist ~engine ~compress:`Hcons ~memo:true ~domains auto
+                  sched ~depth))
+           test_engines)
        test_domains
   &&
   let q = Measure.exec_dist ~compress:`Quotient auto sched ~depth in
@@ -244,7 +264,9 @@ let prop_budgeted_quotient =
 (* Chunked self-scheduling: any chunk size partitions every frontier the
    same way the merge reassembles it, so the result cannot depend on it.
    chunk = 1 maximally interleaves workers (each entry a separate claim);
-   chunk = 64 usually hands whole layers to one worker. *)
+   chunk = 64 usually hands whole layers to one worker. [chunk] is a
+   layered-engine knob, so the engine is pinned — under [`Auto] an
+   unbudgeted run would take the subtree engine and never read it. *)
 let prop_chunk_independent =
   QCheck.Test.make ~count:50 ~name:"chunk size never changes the result" case_arb
     (fun case ->
@@ -252,11 +274,79 @@ let prop_chunk_independent =
       let compress = test_compress in
       let seq = Measure.exec_dist ~compress auto sched ~depth in
       Dist.equal seq
-        (Par_measure.exec_dist ~compress ~domains:3 ~chunk:1 auto sched ~depth)
+        (Par_measure.exec_dist ~engine:`Layered ~compress ~domains:3 ~chunk:1 auto
+           sched ~depth)
       && Dist.equal seq
-           (Par_measure.exec_dist ~compress ~domains:3 ~chunk:64 auto sched ~depth))
+           (Par_measure.exec_dist ~engine:`Layered ~compress ~domains:3 ~chunk:64
+              auto sched ~depth))
 
-(* ------------------------------------------------- frontier-order audit *)
+(* ------------------------------------------- error-propagation audit *)
+
+(* A scheduler raise must surface deterministically from every engine:
+   when exactly one execution fails, the same exception — carrying the
+   same failing entry — comes out of the sequential loop, the layered
+   engine at every domain count × chunk size, and the subtree engine at
+   every domain count; and the engines stay reusable afterwards. The
+   failing execution is picked from the clean run's support (the
+   [Exec.compare]-least completed execution, truncated to a length-2
+   prefix), so it is guaranteed to be visited as a frontier node by every
+   engine and partitioning. *)
+exception Boom of int
+
+let prefix_exec n e =
+  let rec take k = function x :: tl when k > 0 -> x :: take (k - 1) tl | _ -> [] in
+  List.fold_left
+    (fun acc (a, q) -> Exec.extend acc a q)
+    (Exec.init (Exec.fstate e))
+    (take n (Exec.steps e))
+
+let test_error_propagation () =
+  let auto, sched, depth = build { seed = 42; kind = 0; sched = 0; depth = 5 } in
+  let clean = Measure.exec_dist auto sched ~depth in
+  let target =
+    (* Dist items are sorted by Exec.compare, so hd is the least. *)
+    prefix_exec 2 (fst (List.hd (Dist.items clean)))
+  in
+  let raising =
+    Scheduler.make ~validated:true ~name:"raising" (fun e ->
+        if Exec.compare e target = 0 then raise (Boom (Exec.hash e))
+        else Scheduler.validate_choice auto sched e)
+  in
+  let failure_of run =
+    match run () with
+    | (_ : Exec.t Dist.t) -> None
+    | exception Boom h -> Some h
+  in
+  let expected = failure_of (fun () -> Measure.exec_dist auto raising ~depth) in
+  Alcotest.(check bool) "sequential run raises" true (expected <> None);
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "layered domains=%d chunk=%d raises the same entry"
+               domains chunk)
+            expected
+            (failure_of (fun () ->
+                 Par_measure.exec_dist ~engine:`Layered ~domains ~chunk auto raising
+                   ~depth)))
+        [ 1; 64 ];
+      Alcotest.(check (option int))
+        (Printf.sprintf "subtree domains=%d raises the same entry" domains)
+        expected
+        (failure_of (fun () ->
+             Par_measure.exec_dist ~engine:`Subtree ~domains auto raising ~depth));
+      (* Reusable after the raise: the same call sites produce the clean
+         measure again with a non-raising scheduler. *)
+      List.iter
+        (fun engine ->
+          Alcotest.(check bool)
+            (Printf.sprintf "engine reusable after raise (domains=%d)" domains)
+            true
+            (Dist.equal clean
+               (Par_measure.exec_dist ~engine ~domains auto sched ~depth)))
+        [ `Layered; `Subtree ])
+    [ 2; 4 ]
 
 (* Budget pruning is the only frontier-order-sensitive step in the engine
    (everything else folds with exact, commutative rational arithmetic into
@@ -476,7 +566,16 @@ let test_corpus_traced () =
         true
         (evs <> []
         && List.for_all (fun e -> e.Trace.ev_dur >= 0.) evs
-        && List.exists (fun e -> e.Trace.ev_name = "measure.layer") evs))
+        && (* An active quotient keeps the layered engine (layer spans); a
+              history-dependent scheduler degrades [`Quotient] to [`Hcons]
+              and the run takes the barrier-free engine (subtree spans, or
+              none when the cone bottoms out inside the seed phase). *)
+        List.exists
+          (fun e ->
+            e.Trace.ev_name = "measure.layer"
+            || e.Trace.ev_name = "measure.subtree"
+            || e.Trace.ev_name = "measure.seed")
+          evs))
     (corpus ())
 
 let () =
@@ -494,6 +593,11 @@ let () =
           qtest prop_budgeted_conformance;
           qtest prop_budgeted_quotient;
           qtest prop_chunk_independent;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "raise surfaces deterministically from every engine"
+            `Quick test_error_propagation;
         ] );
       ( "determinism",
         [ qtest prop_truncate_permutation_invariant; qtest prop_obs_conserved ] );

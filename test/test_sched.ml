@@ -351,6 +351,57 @@ let test_expected_steps () =
   let sched = Scheduler.bounded 3 (Scheduler.first_enabled f) in
   Alcotest.check rat "E[steps] = 7/4" (Rat.of_ints 7 4) (Measure.expected_steps f sched ~depth:5)
 
+(* ------------------------------------------------------------------- Pool *)
+
+exception Job_boom of int
+
+(* Regression: a worker job that raises used to skip the pending-counter
+   decrement, leaving [Pool.run] waiting on the completion barrier forever
+   (the engine deadlocked the first time a scheduler raised on a multicore
+   run). [run] must complete the barrier, re-raise deterministically — the
+   recorded exception of the smallest worker id, independent of OS
+   scheduling — and leave the pool reusable. *)
+let test_pool_raise_no_deadlock () =
+  let module Pool = Par_measure.For_tests.Pool in
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  for _ = 1 to 3 do
+    (* Workers 1 and 3 raise; worker 1 — the smallest raising id — wins,
+       whichever domain finishes first. *)
+    let got =
+      match Pool.run pool (fun w -> if w mod 2 = 1 then raise (Job_boom w)) with
+      | () -> None
+      | exception Job_boom w -> Some w
+    in
+    Alcotest.(check (option int)) "smallest raising worker id re-raised"
+      (Some 1) got
+  done;
+  (* The pool survives raising runs: a clean job still runs on every
+     worker. *)
+  let hits = Array.make 4 0 in
+  Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+  Alcotest.(check (array int)) "pool reusable after raises" [| 1; 1; 1; 1 |] hits
+
+let test_pool_caller_raise () =
+  (* The caller is worker 0; its own raise must also complete the barrier
+     (spawned workers finish their jobs) and re-raise. *)
+  let module Pool = Par_measure.For_tests.Pool in
+  let pool = Pool.create 2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let others = Atomic.make 0 in
+  let got =
+    match
+      Pool.run pool (fun w ->
+          if w = 0 then raise (Job_boom 0) else Atomic.incr others)
+    with
+    | () -> None
+    | exception Job_boom w -> Some w
+  in
+  Alcotest.(check (option int)) "caller's exception re-raised" (Some 0) got;
+  Alcotest.(check int) "spawned worker still ran" 1 (Atomic.get others);
+  Pool.run pool (fun _ -> ());
+  Alcotest.(check pass) "pool reusable after caller raise" () ()
+
 (* ----------------------------------------------------------------- Schema *)
 
 let test_schema_standard () =
@@ -403,6 +454,11 @@ let () =
           Alcotest.test_case "print_nth agrees with print_left" `Quick test_print_nth_matches_print_left;
           Alcotest.test_case "stability by composition (Def 3.7)" `Quick test_stability_by_composition;
           Alcotest.test_case "print stability (Def 3.7)" `Quick test_stability_print_insight ] );
+      ( "pool",
+        [ Alcotest.test_case "raising jobs neither deadlock nor poison" `Quick
+            test_pool_raise_no_deadlock;
+          Alcotest.test_case "caller raise completes the barrier" `Quick
+            test_pool_caller_raise ] );
       ( "schema",
         [ Alcotest.test_case "standard schema" `Quick test_schema_standard;
           Alcotest.test_case "oblivious schema" `Quick test_schema_oblivious ] ) ]

@@ -109,12 +109,14 @@ let test_spans_balanced () =
 (* The determinism contract lifted to the trace: one measure.layer span
    per frontier layer, so the count is a pure function of the system and
    depth — identical across domain counts {1, 2, 4}, barriers and merge
-   spans notwithstanding. *)
+   spans notwithstanding. Layer spans are a layered-engine notion, so the
+   multicore runs pin [`Layered] — under [`Auto] an unbudgeted multicore
+   run takes the barrier-free subtree engine, which has no layers. *)
 let test_layer_spans_domain_independent () =
   let auto, sched, depth = corpus_system () in
   let layer_spans domains =
     Trace.start ();
-    ignore (Measure.exec_dist ~domains auto sched ~depth);
+    ignore (Measure.exec_dist ~engine:`Layered ~domains auto sched ~depth);
     Trace.stop ();
     let n =
       List.length
@@ -129,6 +131,28 @@ let test_layer_spans_domain_independent () =
   Alcotest.(check bool) "sequential run has layer spans" true (n1 > 0);
   Alcotest.(check int) "domains=2 matches sequential" n1 (layer_spans 2);
   Alcotest.(check int) "domains=4 matches sequential" n1 (layer_spans 4)
+
+(* The subtree engine's span vocabulary: an unbudgeted multicore run under
+   [`Auto] records the seed phase and per-subtree work spans, and — being
+   barrier-free — neither layer spans nor synthetic barrier waits. *)
+let test_subtree_spans () =
+  let auto, sched, depth = corpus_system () in
+  List.iter
+    (fun domains ->
+      Trace.start ();
+      ignore (Measure.exec_dist ~domains auto sched ~depth);
+      Trace.stop ();
+      let evs = Trace.events () in
+      Trace.clear ();
+      let has name = List.exists (fun e -> e.Trace.ev_name = name) evs in
+      Alcotest.(check bool) "seed span recorded" true (has "measure.seed");
+      Alcotest.(check bool) "subtree work spans recorded" true
+        (has "measure.subtree");
+      Alcotest.(check bool) "single final merge span" true (has "measure.merge");
+      Alcotest.(check bool) "no layer spans" false (has "measure.layer");
+      Alcotest.(check bool) "no barrier-wait spans" false
+        (has "measure.barrier.wait"))
+    [ 2; 4 ]
 
 (* Ring capacity: a full store drops (never blocks, never reallocates)
    and counts every drop. *)
@@ -164,11 +188,12 @@ let test_buffer_drain () =
 
 (* The self-profiling summary on a real multicore run: fractions are
    fractions, imbalance is max/mean, and the vocabulary was recognized
-   (layer rows and worker rows both present). *)
+   (layer rows and worker rows both present). Pinned to the layered
+   engine, which is what the layer rows describe. *)
 let test_summary_sane () =
   let auto, sched, depth = corpus_system () in
   Trace.start ();
-  ignore (Measure.exec_dist ~domains:2 auto sched ~depth);
+  ignore (Measure.exec_dist ~engine:`Layered ~domains:2 auto sched ~depth);
   Trace.stop ();
   let sm = Trace.summary () in
   Trace.clear ();
@@ -183,6 +208,87 @@ let test_summary_sane () =
   Alcotest.(check bool) "worker rows parsed" true (sm.Trace.sm_workers <> []);
   Alcotest.(check bool) "layer rows carry the frontier width" true
     (List.for_all (fun lr -> lr.Trace.lr_width > 0) sm.Trace.sm_layers)
+
+(* The summary over a subtree-engine run: worker rows come from the
+   measure.subtree spans, idle time from measure.steal.idle, and the
+   barrier-wait fraction is identically 0 — there are no barriers. *)
+let test_summary_subtree () =
+  let auto, sched, depth = corpus_system () in
+  Trace.start ();
+  ignore (Measure.exec_dist ~domains:2 auto sched ~depth);
+  Trace.stop ();
+  let sm = Trace.summary () in
+  Trace.clear ();
+  Alcotest.(check bool) "spans counted" true (sm.Trace.sm_spans > 0);
+  Alcotest.(check (float 0.)) "no barrier waits in a barrier-free run" 0.
+    sm.Trace.sm_barrier_wait_frac;
+  Alcotest.(check bool) "idle fraction in [0,1]" true
+    (sm.Trace.sm_idle_frac >= 0. && sm.Trace.sm_idle_frac <= 1.);
+  Alcotest.(check bool) "worker rows parsed from subtree spans" true
+    (sm.Trace.sm_workers <> []);
+  Alcotest.(check bool) "work units counted" true
+    (List.exists (fun w -> w.Trace.wr_chunks > 0) sm.Trace.sm_workers)
+
+(* Regression (probe isolation): the per-layer stats deltas of a run must
+   be computed against a run-start baseline of the process-global Obs
+   counters, not against zero. Before the fix, the first
+   measure.layer.stats instant of every run after the first reported the
+   whole process history, so two engine runs in one process corrupted each
+   other's deltas. Two identical back-to-back runs (fresh caches each)
+   must report identical per-layer deltas. *)
+let test_probe_isolation () =
+  let auto, sched, depth = corpus_system () in
+  Cdse_obs.Obs.set_enabled true;
+  let stats_of () =
+    ignore (Measure.exec_dist ~memo:true auto sched ~depth);
+    let st =
+      List.filter_map
+        (fun e ->
+          if e.Trace.ev_name = "measure.layer.stats" then Some e.Trace.ev_args
+          else None)
+        (Trace.events ())
+    in
+    Trace.clear ();
+    st
+  in
+  Trace.start ();
+  let run1 = stats_of () in
+  let run2 = stats_of () in
+  Trace.stop ();
+  Trace.clear ();
+  Cdse_obs.Obs.set_enabled false;
+  Alcotest.(check bool) "stats instants recorded" true (run1 <> []);
+  Alcotest.(check bool) "second run reports the same per-layer deltas" true
+    (run1 = run2)
+
+(* Regression (ring reuse): acquire/release recycles the per-worker rings
+   instead of allocating a capacity-sized array per run, without leaking
+   events or drop counts from one run into the next; a capacity change
+   retires stale rings instead of reusing them. *)
+let test_buffer_pool_reuse () =
+  Trace.start ~capacity:32 ();
+  let b1 = Trace.acquire_buffer ~dom:1 in
+  Trace.with_buffer b1 (fun () ->
+      for i = 1 to 100 do
+        Trace.instant ~args:(fun () -> [ ("i", string_of_int i) ]) "t.flood"
+      done);
+  Trace.drain b1;
+  Alcotest.(check int) "ring overflow counted" 68 (Trace.dropped ());
+  Trace.release_buffer b1;
+  let b2 = Trace.acquire_buffer ~dom:2 in
+  Alcotest.(check bool) "ring physically reused" true (b1 == b2);
+  Trace.clear ();
+  Trace.with_buffer b2 (fun () -> Trace.instant "t.one");
+  Trace.drain b2;
+  Alcotest.(check (list string)) "no event leakage across runs" [ "t.one" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events ()));
+  Alcotest.(check int) "no drop-count leakage across runs" 0 (Trace.dropped ());
+  Trace.release_buffer b2;
+  Trace.start ~capacity:64 ();
+  let b3 = Trace.acquire_buffer ~dom:1 in
+  Alcotest.(check bool) "stale-capacity ring not reused" false (b3 == b2);
+  Trace.stop ();
+  Trace.clear ()
 
 let () =
   Alcotest.run "cdse_trace"
@@ -199,11 +305,23 @@ let () =
           Alcotest.test_case "spans always balanced" `Quick test_spans_balanced;
           Alcotest.test_case "layer spans independent of domain count" `Quick
             test_layer_spans_domain_independent;
+          Alcotest.test_case "subtree engine span vocabulary" `Quick
+            test_subtree_spans;
           Alcotest.test_case "capacity bound and dropped count" `Quick
             test_capacity_and_dropped;
           Alcotest.test_case "worker buffers drain at barriers" `Quick
             test_buffer_drain;
         ] );
       ( "summary",
-        [ Alcotest.test_case "attribution fractions sane" `Quick test_summary_sane ] );
+        [
+          Alcotest.test_case "attribution fractions sane" `Quick test_summary_sane;
+          Alcotest.test_case "subtree summary sane" `Quick test_summary_subtree;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "layer-stats probe isolated per run" `Quick
+            test_probe_isolation;
+          Alcotest.test_case "buffer pool reuses rings without leakage" `Quick
+            test_buffer_pool_reuse;
+        ] );
     ]
