@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- check-json — validate BENCH_cdse.json keys
      dune exec bench/main.exe -- check-trace FILE
                                             — validate a Chrome trace-event file
+     dune exec bench/main.exe -- serve-smoke --domains 2
+                                            — daemon wire-protocol smoke gate
      dune exec bench/main.exe -- par --domains 4
                                             — multicore conformance smoke
 
@@ -73,6 +75,7 @@ let () =
   let args = extract_flags [] args in
   match args with
   | "check-json" :: _ -> Bench_json.check ()
+  | "serve-smoke" :: _ -> Serve_smoke.run ~domains:!Workbench.domains ()
   | "check-trace" :: file :: _ -> Bench_json.check_trace file
   | [ "check-trace" ] ->
       prerr_endline "check-trace: expected a trace file argument";

@@ -113,6 +113,11 @@ module Manager = Cdse_dynamic.Manager
 module Dynamic_system = Cdse_dynamic.System
 module Committee = Cdse_dynamic.Committee
 
+(* serve *)
+module Serve = Cdse_serve.Server
+module Serve_protocol = Cdse_serve.Protocol
+module Serve_json = Cdse_serve.Json
+
 (* gen *)
 module Workloads = Cdse_gen.Workloads
 module Sworkloads = Cdse_gen.Sworkloads

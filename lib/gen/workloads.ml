@@ -260,6 +260,68 @@ let timer ?(horizon = 3) name =
    probability (clamped at the borders). An unbounded-depth probabilistic
    workload for measure benchmarks. *)
 
+(* Via-spliced faulty channel feeding a compromisable receiver (the
+   robustness corner of the conformance corpus, also served as a named
+   model by the cdse_serve daemon): a 3-message sender talks to an
+   acking receiver through a lossy channel (even seeds) or a reordering
+   delay channel (odd seeds), and an injector puts the receiver's
+   takeover under scheduler control. Callers typically meter channel
+   faults and takeovers together with [Fault.budget_sched]. *)
+
+let faulty_channel ~seed =
+  let module Fault = Cdse_fault.Fault in
+  let msg n = Action.make ~payload:(Value.int n) "s.msg" in
+  let acts = List.init 3 msg in
+  let sender =
+    Psioa.make ~name:"s" ~start:(Value.int 0)
+      ~signature:(fun q ->
+        match q with
+        | Value.Int n when n < 3 ->
+            Sigs.make ~input:Action_set.empty
+              ~output:(Action_set.of_list [ msg n ])
+              ~internal:Action_set.empty
+        | _ -> Sigs.empty)
+      ~transition:(fun q a ->
+        match q with
+        | Value.Int n when n < 3 && Action.equal a (msg n) ->
+            Some (Vdist.dirac (Value.int (n + 1)))
+        | _ -> None)
+  in
+  (* Counts deliveries; from two on it also acks — a locally controlled
+     action that [Adversary.silent_takeover] silences, so a takeover is
+     visible in the execution measure, not just in the state. *)
+  let ack = Action.make "r.ack" in
+  let receiver =
+    Psioa.make ~name:"r" ~start:(Value.int 0)
+      ~signature:(fun q ->
+        match q with
+        | Value.Int n when n < 6 ->
+            Sigs.make
+              ~input:(Action_set.of_list acts)
+              ~output:(if n >= 2 then Action_set.of_list [ ack ] else Action_set.empty)
+              ~internal:Action_set.empty
+        | _ -> Sigs.empty)
+      ~transition:(fun q a ->
+        match q with
+        | Value.Int n when n < 6 ->
+            if Action.equal a ack then Some (Vdist.dirac q)
+            else if List.exists (Action.equal a) acts then
+              Some (Vdist.dirac (Value.int (n + 1)))
+            else None
+        | _ -> None)
+  in
+  let wrapped =
+    Fault.compromise
+      ~adversarial:(Cdse_secure.Adversary.silent_takeover receiver)
+      receiver
+  in
+  let channel =
+    if seed mod 2 = 0 then Fault.lossy_channel ~cap:4 ~name:"ch" ~acts ()
+    else Fault.delay_channel ~cap:4 ~name:"ch" ~acts ()
+  in
+  let inj = Fault.injector ~faults:[ Fault.compromise_action "r" ] () in
+  Compose.pair inj (Fault.via ~channel ~acts sender wrapped)
+
 let random_walk ?(span = 4) name =
   let step = act (name ^ ".step") in
   let state k = Value.tag "walk" (Value.int k) in

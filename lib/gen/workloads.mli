@@ -62,6 +62,14 @@ val fifo : ?capacity:int -> ?alphabet:int list -> string -> Psioa.t
 val timer : ?horizon:int -> string -> Psioa.t
 (** Ticks internally [horizon] times, then fires [name.timeout] once. *)
 
+val faulty_channel : seed:int -> Psioa.t
+(** Via-spliced faulty channel feeding a compromisable receiver: a
+    3-message sender behind a lossy (even [seed]) or reordering delay
+    (odd [seed]) channel, with the receiver's adversarial takeover under
+    scheduler control through a fault injector. The robustness corner of
+    the conformance corpus; callers typically meter the channel faults
+    and takeovers together with {!Cdse_fault.Fault.budget_sched}. *)
+
 val random_walk : ?span:int -> string -> Psioa.t
 (** Lazy ±1 random walk on [0..span] (clamped), driven by an internal
     step — an unbounded-depth probabilistic measure workload. *)

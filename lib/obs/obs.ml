@@ -210,15 +210,15 @@ let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let hist_stats h =
+  let bs = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then bs := (bucket_upper i, h.buckets.(i)) :: !bs
+  done;
+  { h_count = h.h_n; h_sum = h.h_total; h_min = h.h_lo; h_max = h.h_hi;
+    h_buckets = !bs }
+
 let snapshot () =
-  let hist_stats h =
-    let bs = ref [] in
-    for i = Array.length h.buckets - 1 downto 0 do
-      if h.buckets.(i) > 0 then bs := (bucket_upper i, h.buckets.(i)) :: !bs
-    done;
-    { h_count = h.h_n; h_sum = h.h_total; h_min = h.h_lo; h_max = h.h_hi;
-      h_buckets = !bs }
-  in
   {
     s_counters = sorted_bindings counters (fun c -> c.c);
     s_gauges =

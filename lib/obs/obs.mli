@@ -143,6 +143,11 @@ type histogram_stats = {
   h_buckets : (int * int) list;  (** (bucket upper bound, count), non-empty buckets only *)
 }
 
+val hist_stats : histogram -> histogram_stats
+(** Direct bucket-level view of one histogram, without building a full
+    {!snapshot} — used by the serving layer's [stats] endpoint to compute
+    latency percentiles per request. *)
+
 val hist_percentile : histogram_stats -> float -> int
 (** [hist_percentile st p] (with [0 < p <= 1]) is an upper bound on the
     [p]-th percentile of the recorded observations: the smallest recorded

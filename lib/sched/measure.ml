@@ -34,6 +34,23 @@ let exec_dist ?engine ?memo ?max_execs ?max_width ?domains ?compress ?track auto
   with
   | `Exact d | `Truncated (d, _) -> d
 
+type frontier = Par_measure.frontier = {
+  f_depth : int;
+  f_alive : (Exec.t * Rat.t) list;
+  f_finished : (Exec.t * Rat.t) list;
+}
+
+let exec_dist_frontier ?engine ?memo ?domains ?compress ?from auto sched ~depth =
+  Cdse_obs.Trace.span "measure.exec_dist"
+    ~args:(fun () ->
+      [ ("depth", string_of_int depth);
+        ( "resume_from",
+          string_of_int (match from with Some f -> f.f_depth | None -> 0) );
+        ("domains", string_of_int (Option.value ~default:1 domains)) ])
+    (fun () ->
+      Par_measure.exec_dist_frontier ?engine ?memo ?domains ?compress ?from auto
+        sched ~depth)
+
 let cone_prob auto sched alpha =
   let rec go acc prefix = function
     | [] -> acc

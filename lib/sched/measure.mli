@@ -125,6 +125,26 @@ val exec_dist_budgeted :
     accounting such that the measure's total mass plus [lost] is exactly
     the unbudgeted total. Without budgets, always [`Exact]. *)
 
+type frontier = Par_measure.frontier = {
+  f_depth : int;
+  f_alive : (Exec.t * Rat.t) list;
+  f_finished : (Exec.t * Rat.t) list;
+}
+(** A resumable cone frontier — see {!Par_measure.frontier}. *)
+
+val exec_dist_frontier :
+  ?engine:engine ->
+  ?memo:bool -> ?domains:int -> ?compress:compress -> ?from:frontier ->
+  Psioa.t -> Scheduler.t -> depth:int ->
+  Exec.t Dist.t * frontier
+(** Unbudgeted {!exec_dist} that also returns its final frontier and can
+    resume from one ([?from]) — the incremental-deepening hook behind the
+    {!Cdse_serve} result cache. Resuming a depth-[d] frontier to depth
+    [d + k] is bit-identical to a one-shot run at depth [d + k] with the
+    same model, scheduler and compression; see
+    {!Par_measure.exec_dist_frontier} for the contract and the
+    [Invalid_argument] conditions. *)
+
 val cone_prob : Psioa.t -> Scheduler.t -> Exec.t -> Rat.t
 (** [ε_σ(C_α)]: the probability that the scheduled run extends [α]
     (Section 3's cone measure), computed as the product of scheduler and

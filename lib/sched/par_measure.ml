@@ -7,6 +7,20 @@ type 'a budgeted = [ `Exact of 'a | `Truncated of 'a * Rat.t ]
 
 type compress = [ `Off | `Hcons | `Quotient ]
 
+(* A resumable expansion frontier: the alive entries (each of length
+   [f_depth]) plus the finished mass accumulated on the way there. Only
+   frontiers of {e unbudgeted} runs are resumable — the budgeted entry
+   point discards its frontier, so a truncated one is never observable. *)
+type frontier = {
+  f_depth : int;
+  f_alive : (Exec.t * Rat.t) list;
+  f_finished : (Exec.t * Rat.t) list;
+}
+
+let start_frontier auto = function
+  | None -> (0, [ (Exec.init (Psioa.start auto), Rat.one) ], [])
+  | Some f -> (f.f_depth, f.f_alive, f.f_finished)
+
 (* Instruments for the budgeted expansion below (shared by name with any
    other reader: registration is idempotent). The frontier-width histogram
    is fed once per layer by the coordinating domain;
@@ -273,8 +287,8 @@ let wrap_compress ~compress auto =
    transition lookups are computed once per [(state, action)] across the
    whole frontier. Both caches are per-call: the results are
    observationally identical, so the flag is purely a performance knob. *)
-let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sched
-    ~depth =
+let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width ?from auto
+    sched ~depth =
   let auto = wrap_compress ~compress auto in
   let auto = if memo then Psioa.memoize auto else auto in
   let choice_of = choice_fn ~memo auto sched in
@@ -283,7 +297,7 @@ let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sch
   let qmass = ref Rat.zero in
   let layer_stats = layer_stats_probe () in
   let rec go step alive n_finished finished lost =
-    if step = depth || alive = [] then finish alive finished lost
+    if step = depth || alive = [] then (alive, finished, lost)
     else begin
       if Obs.enabled () then begin
         Obs.incr c_layers;
@@ -350,15 +364,19 @@ let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sch
       | Some cap when !n_finished' + List.length alive' > cap ->
           let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
           end_layer ();
-          finish kept !finished' (Rat.add lost dropped)
+          (kept, !finished', Rat.add lost dropped)
       | _ ->
           end_layer ();
           go (step + 1) alive' !n_finished' !finished' lost
     end
   in
-  let res = go 0 [ (Exec.init (Psioa.start auto), Rat.one) ] 0 [] Rat.zero in
+  let start_step, start_alive, start_finished = start_frontier auto from in
+  let alive, finished, lost =
+    go start_step start_alive (List.length start_finished) start_finished Rat.zero
+  in
   if quotient && Obs.enabled () then Obs.set_gauge g_q_mass (Rat.to_string !qmass);
-  res
+  ( finish alive finished lost,
+    { f_depth = depth; f_alive = alive; f_finished = finished } )
 
 (* ------------------------------------------------------- parallel engine *)
 
@@ -371,7 +389,7 @@ let seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sch
    entries, and hence every downstream sort/normalization, is identical to
    the sequential engine's no matter how the OS schedules the domains. *)
 let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
-    ?max_width auto sched ~depth =
+    ?max_width ?from auto sched ~depth =
   let n_workers = max 2 (min domains 64) in
   (* Per-domain memoization and interning: [Psioa.memoize] and [Hcons]
      caches are plain hashtables, so each worker gets its own instances
@@ -412,7 +430,7 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
   @@ fun () ->
   let rec go step frontier n_finished finished lost =
     let n = Array.length frontier in
-    if step = depth || n = 0 then finish (Array.to_list frontier) finished lost
+    if step = depth || n = 0 then (Array.to_list frontier, finished, lost)
     else begin
       if Obs.enabled () then begin
         Obs.incr c_layers;
@@ -540,15 +558,20 @@ let par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
       | Some cap when !n_finished' + List.length alive' > cap ->
           let kept, dropped = truncate_entries ~keep:(max 0 (cap - !n_finished')) alive' in
           end_layer ();
-          finish kept !finished' (Rat.add lost dropped)
+          (kept, !finished', Rat.add lost dropped)
       | _ ->
           end_layer ();
           go (step + 1) (Array.of_list alive') !n_finished' !finished' lost
     end
   in
-  let res = go 0 [| (Exec.init (Psioa.start auto), Rat.one) |] 0 [] Rat.zero in
+  let start_step, start_alive, start_finished = start_frontier auto from in
+  let alive, finished, lost =
+    go start_step (Array.of_list start_alive) (List.length start_finished)
+      start_finished Rat.zero
+  in
   if quotient && Obs.enabled () then Obs.set_gauge g_q_mass (Rat.to_string !qmass);
-  res
+  ( finish alive finished lost,
+    { f_depth = depth; f_alive = alive; f_finished = finished } )
 
 (* -------------------------------------- barrier-free subtree engine *)
 
@@ -612,7 +635,7 @@ let expand_node auto choice_of (e, p) =
    the last one to do so ([busy] = 0) broadcasts completion. A donor is
    busy for the whole donation, so the last idle transition cannot race
    with a concurrent donation. *)
-let subtree_exec_dist ~domains ~memo ~compress auto sched ~depth =
+let subtree_exec_dist ~domains ~memo ~compress ?from auto sched ~depth =
   let n_workers = max 2 (min domains 64) in
   let autos =
     Array.init n_workers (fun _ ->
@@ -634,7 +657,8 @@ let subtree_exec_dist ~domains ~memo ~compress auto sched ~depth =
      recorded, not raised: the engine always completes the surviving work
      first so the raised failure is the deterministic minimum. *)
   let seed_target = n_workers * 8 in
-  let seed_finished = ref [] in
+  let start_step, start_alive, start_finished = start_frontier auto from in
+  let seed_finished = ref start_finished in
   let seed_fail = ref None in
   let seed_layers = ref 0 in
   let rec seed step alive =
@@ -660,14 +684,15 @@ let subtree_exec_dist ~domains ~memo ~compress auto sched ~depth =
     Trace.span
       ~args:(fun () -> [ ("layers", string_of_int !seed_layers) ])
       "measure.seed"
-      (fun () -> seed 0 [ (Exec.init (Psioa.start auto), Rat.one) ])
+      (fun () -> seed start_step start_alive)
   in
   if seed_frontier = [] || Exec.length (fst (List.hd seed_frontier)) >= depth
   then begin
     (* The cone emptied or bottomed out before growing wide enough — the
        seed phase already did all the work. *)
     (match !seed_fail with Some (_, exn) -> raise exn | None -> ());
-    finish seed_frontier !seed_finished Rat.zero
+    ( finish seed_frontier !seed_finished Rat.zero,
+      { f_depth = depth; f_alive = seed_frontier; f_finished = !seed_finished } )
   end
   else begin
     let roots = Array.of_list seed_frontier in
@@ -836,7 +861,8 @@ let subtree_exec_dist ~domains ~memo ~compress auto sched ~depth =
     let finished =
       Array.fold_left (fun acc f -> List.rev_append f acc) !seed_finished finisheds
     in
-    finish alive finished Rat.zero
+    ( finish alive finished Rat.zero,
+      { f_depth = depth; f_alive = alive; f_finished = finished } )
   end
 
 (* ---------------------------------------------------------- entry points *)
@@ -855,13 +881,50 @@ let exec_dist_budgeted ?(engine = `Auto) ?(memo = false) ?max_execs ?max_width
         "Par_measure: the `Subtree engine supports neither ?max_execs/?max_width \
          budgets nor an active `Quotient (use `Layered or `Auto)"
   | _ -> ());
-  if domains <= 1 then
-    seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto sched
-      ~depth
-  else if layered || engine = `Layered then
-    par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
-      ?max_width auto sched ~depth
-  else subtree_exec_dist ~domains ~memo ~compress auto sched ~depth
+  fst
+    (if domains <= 1 then
+       seq_exec_dist_budgeted ~memo ~compress ~track ?max_execs ?max_width auto
+         sched ~depth
+     else if layered || engine = `Layered then
+       par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track ?max_execs
+         ?max_width auto sched ~depth
+     else subtree_exec_dist ~domains ~memo ~compress auto sched ~depth)
+
+(* Unbudgeted expansion that also returns its final frontier, and can start
+   from a previously returned one instead of the initial execution — the
+   incremental-deepening hook used by the serving layer's result cache.
+   Resuming is bit-identical to a one-shot run at the larger depth: every
+   alive entry of a depth-[d] frontier has length [d], {!Dist.make}
+   normalizes away list order, rational mass addition is exact and
+   commutative, and the quotient's representative choice is
+   [Exec.compare]-minimal per class — none of them can see how the prefix
+   layers were computed. *)
+let exec_dist_frontier ?(engine = `Auto) ?(memo = false) ?(domains = 1) ?chunk
+    ?(compress = `Off) ?from auto sched ~depth =
+  (match from with
+  | Some f when f.f_depth > depth ->
+      invalid_arg
+        (Printf.sprintf
+           "Par_measure.exec_dist_frontier: resume frontier is at depth %d, \
+            deeper than the requested depth %d"
+           f.f_depth depth)
+  | _ -> ());
+  let layered = needs_layers ~max_execs:None ~max_width:None ~compress sched in
+  (match engine with
+  | `Subtree when layered ->
+      invalid_arg
+        "Par_measure: the `Subtree engine supports neither ?max_execs/?max_width \
+         budgets nor an active `Quotient (use `Layered or `Auto)"
+  | _ -> ());
+  let res, frontier =
+    if domains <= 1 then
+      seq_exec_dist_budgeted ~memo ~compress ~track:None ?from auto sched ~depth
+    else if layered || engine = `Layered then
+      par_exec_dist_budgeted ~domains ~chunk ~memo ~compress ~track:None ?from auto
+        sched ~depth
+    else subtree_exec_dist ~domains ~memo ~compress ?from auto sched ~depth
+  in
+  match res with `Exact d | `Truncated (d, _) -> (d, frontier)
 
 let exec_dist ?engine ?memo ?max_execs ?max_width ?domains ?chunk ?compress ?track
     auto sched ~depth =

@@ -160,6 +160,46 @@ val exec_dist :
 (** {!exec_dist_budgeted} with the truncation deficit folded into the
     distribution's own {!Dist.deficit}. *)
 
+type frontier = {
+  f_depth : int;  (** Every entry of [f_alive] has exactly this length. *)
+  f_alive : (Exec.t * Rat.t) list;
+      (** Executions the scheduler may still extend, with their exact mass.
+          Post-quotient representatives when the producing run compressed
+          with [`Quotient]. *)
+  f_finished : (Exec.t * Rat.t) list;
+      (** Halting mass accumulated strictly before [f_depth]. *)
+}
+(** A resumable cone frontier, as returned by {!exec_dist_frontier}. The
+    final distribution of the producing run is exactly
+    [Dist.make ~compare:Exec.compare (f_finished @ f_alive)]. *)
+
+val exec_dist_frontier :
+  ?engine:engine ->
+  ?memo:bool ->
+  ?domains:int ->
+  ?chunk:int ->
+  ?compress:compress ->
+  ?from:frontier ->
+  Psioa.t ->
+  Scheduler.t ->
+  depth:int ->
+  Exec.t Dist.t * frontier
+(** Unbudgeted {!exec_dist} that additionally returns the final frontier,
+    and can resume from a previously returned one ([?from]) instead of the
+    initial execution — the incremental-deepening hook behind the serving
+    layer's result cache. Resuming a depth-[d] frontier to depth [d + k] is
+    {b bit-identical} to a one-shot run at depth [d + k] with the same
+    [auto], [sched] and [compress] (distribution, in-memory normal form,
+    and — trivially, both are [`Exact] — tag and deficit), for every
+    engine and domain count on either side of the split: frontier entry
+    order is normalized away by {!Dist.make}, rational mass addition is
+    exact and commutative, and the quotient representative choice is
+    [Exec.compare]-minimal per class. Raises [Invalid_argument] if
+    [from.f_depth > depth], or on [`Subtree] with an active [`Quotient].
+    The caller is responsible for resuming only with the same
+    [auto]/[sched]/[compress] that produced the frontier — the serving
+    cache keys enforce exactly that. *)
+
 (**/**)
 
 module For_tests : sig

@@ -1,0 +1,61 @@
+open Cdse_prob
+open Cdse_psioa
+module Bits = Cdse_util.Bits
+
+let value_str v = Bits.to_string (Value.to_bits v)
+let action_str a = Bits.to_string (Action.to_bits a)
+
+let exec_to_json e =
+  Json.Obj
+    [
+      ("start", Json.Str (value_str (Exec.fstate e)));
+      ( "steps",
+        Json.List
+          (List.map
+             (fun (a, q) ->
+               Json.List [ Json.Str (action_str a); Json.Str (value_str q) ])
+             (Exec.steps e)) );
+    ]
+
+let malformed what = invalid_arg ("Serve.Codec: malformed " ^ what)
+
+let str_of = function Json.Str s -> s | _ -> malformed "string"
+
+let value_of j = Value.of_bits (Bits.of_string (str_of j))
+let action_of j = Action.of_bits (Bits.of_string (str_of j))
+
+let exec_of_json j =
+  match (Json.member "start" j, Json.member "steps" j) with
+  | Some start, Some (Json.List steps) ->
+      Exec.of_steps (value_of start)
+        (List.map
+           (function
+             | Json.List [ a; q ] -> (action_of a, value_of q)
+             | _ -> malformed "exec step")
+           steps)
+  | _ -> malformed "exec"
+
+let dist_to_json d =
+  Json.Obj
+    [
+      ( "items",
+        Json.List
+          (List.map
+             (fun (e, p) ->
+               Json.List [ exec_to_json e; Json.Str (Rat.to_string p) ])
+             (Dist.items d)) );
+      ("mass", Json.Str (Rat.to_string (Dist.mass d)));
+      ("deficit", Json.Str (Rat.to_string (Dist.deficit d)));
+      ("size", Json.Num (float_of_int (Dist.size d)));
+    ]
+
+let dist_of_json j =
+  match Json.member "items" j with
+  | Some (Json.List items) ->
+      Dist.make ~compare:Exec.compare
+        (List.map
+           (function
+             | Json.List [ e; Json.Str p ] -> (exec_of_json e, Rat.of_string p)
+             | _ -> malformed "dist item")
+           items)
+  | _ -> malformed "dist"

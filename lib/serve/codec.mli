@@ -1,0 +1,27 @@
+(** Exact JSON encoding of measure results.
+
+    States and actions travel as their canonical bit-string encodings
+    ([Value.to_bits] / [Action.to_bits] rendered by [Bits.to_string]), and
+    probabilities as [Rat.to_string] rationals — the wire never touches
+    floating point, so a decoded distribution is {e bit-identical} to the
+    encoded one. Used by the daemon to render replies and by the test
+    client to reconstruct distributions for differential comparison. *)
+
+open Cdse_prob
+open Cdse_psioa
+
+val exec_to_json : Exec.t -> Json.t
+(** [{"start": bits, "steps": [[action-bits, state-bits], ...]}]. *)
+
+val exec_of_json : Json.t -> Exec.t
+(** Raises [Invalid_argument] on a malformed encoding. *)
+
+val dist_to_json : Exec.t Dist.t -> Json.t
+(** [{"items": [[exec, rat], ...], "mass": rat, "deficit": rat,
+    "size": int}]. Items are emitted in the distribution's canonical
+    (sorted) order. *)
+
+val dist_of_json : Json.t -> Exec.t Dist.t
+(** Rebuilds via [Dist.make ~compare:Exec.compare], i.e. renormalizes to
+    the same canonical form the engines produce; raises
+    [Invalid_argument] on malformed input. *)

@@ -1,0 +1,127 @@
+(* Blocking test client for the cdse_serve wire protocol: one Unix-socket
+   connection, synchronous request/response helpers, and raw-line access
+   for malformed-input tests. Deliberately independent of the server's
+   connection code — it exercises the protocol from the outside, byte by
+   byte, the way a foreign client would. *)
+
+module Json = Cdse_serve.Json
+
+type t = {
+  fd : Unix.file_descr;
+  rbuf : bytes;
+  pending : Buffer.t;
+  mutable scanned : int;
+      (* offset into [pending] below which no newline exists — large
+         replies (a dist at depth 12 is megabytes) arrive in 4 KB chunks,
+         and rescanning the whole buffer per chunk is quadratic *)
+  mutable next_id : int;
+}
+
+(* The server binds its socket before [start] returns, but tests that
+   launch it on another thread (or as a child process) may race the
+   filesystem; retry briefly instead of flaking. *)
+let connect ?(retries = 50) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        go (n - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  {
+    fd = go retries;
+    rbuf = Bytes.create 4096;
+    pending = Buffer.create 256;
+    scanned = 0;
+    next_id = 0;
+  }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write t.fd b off (n - off))
+  in
+  go 0
+
+let recv_line t =
+  let rec take () =
+    let len = Buffer.length t.pending in
+    let rec find i =
+      if i >= len then None
+      else if Buffer.nth t.pending i = '\n' then Some i
+      else find (i + 1)
+    in
+    match find t.scanned with
+    | Some i ->
+        let s = Buffer.contents t.pending in
+        Buffer.clear t.pending;
+        Buffer.add_substring t.pending s (i + 1) (String.length s - i - 1);
+        t.scanned <- 0;
+        String.sub s 0 i
+    | None -> (
+        t.scanned <- len;
+        match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+        | 0 -> failwith "Serve_client.recv_line: connection closed by server"
+        | n ->
+            Buffer.add_subbytes t.pending t.rbuf 0 n;
+            take ())
+  in
+  take ()
+
+type reply = { r_id : int option; r_ok : bool; r_body : Json.t }
+(** [r_body] is the ["result"] field when [r_ok], the ["error"] object
+    otherwise. *)
+
+let reply_of_line line =
+  let j = Json.parse line in
+  let r_id =
+    match Json.member "id" j with Some v -> Json.to_int v | None -> None
+  in
+  match (Json.member "ok" j, Json.member "result" j, Json.member "error" j) with
+  | Some (Json.Bool true), Some r, _ -> { r_id; r_ok = true; r_body = r }
+  | Some (Json.Bool false), _, Some e -> { r_id; r_ok = false; r_body = e }
+  | _ -> failwith ("Serve_client: malformed reply: " ^ line)
+
+(* Send [fields] as a request object with a fresh id; block for the reply
+   with that id (buffering any interleaved replies would require real
+   pipelining — the blocking client simply trusts the id match, which
+   holds because it never has more than one request outstanding). *)
+let request t fields =
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  send_line t
+    (Json.to_string (Json.Obj (("id", Json.Num (float_of_int id)) :: fields)));
+  let r = reply_of_line (recv_line t) in
+  (match r.r_id with
+  | Some i when i = id -> ()
+  | _ -> failwith "Serve_client.request: reply id mismatch");
+  r
+
+let ping t = request t [ ("op", Json.Str "ping") ]
+let stats t = request t [ ("op", Json.Str "stats") ]
+let shutdown t = request t [ ("op", Json.Str "shutdown") ]
+
+(* Field accessors for replies *)
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> failwith ("Serve_client: reply missing field " ^ name)
+
+let str = function
+  | Json.Str s -> s
+  | j -> failwith ("Serve_client: expected string, got " ^ Json.to_string j)
+
+let int j =
+  match Json.to_int j with
+  | Some i -> i
+  | None -> failwith ("Serve_client: expected int, got " ^ Json.to_string j)

@@ -57,64 +57,11 @@ type case = { seed : int; kind : int; sched : int; depth : int }
 
 (* kind 3 (the robustness corner): a via-spliced faulty channel — lossy
    on even seeds, reordering on odd — feeds a compromisable receiver
-   whose takeover is put under scheduler control by an injector. [build]
-   then meters channel faults and takeovers together with
-   [Fault.budget_sched], so the fault combinators are exercised end to
-   end through every engine. *)
-let faulty_channel_system seed =
-  let module Fault = Cdse_fault.Fault in
-  let msg n = Action.make ~payload:(Value.int n) "s.msg" in
-  let acts = List.init 3 msg in
-  let sender =
-    Psioa.make ~name:"s" ~start:(Value.int 0)
-      ~signature:(fun q ->
-        match q with
-        | Value.Int n when n < 3 ->
-            Sigs.make ~input:Action_set.empty
-              ~output:(Action_set.of_list [ msg n ])
-              ~internal:Action_set.empty
-        | _ -> Sigs.empty)
-      ~transition:(fun q a ->
-        match q with
-        | Value.Int n when n < 3 && Action.equal a (msg n) ->
-            Some (Vdist.dirac (Value.int (n + 1)))
-        | _ -> None)
-  in
-  (* Counts deliveries; from two on it also acks — a locally controlled
-     action that [Adversary.silent_takeover] silences, so a takeover is
-     visible in the execution measure, not just in the state. *)
-  let ack = Action.make "r.ack" in
-  let receiver =
-    Psioa.make ~name:"r" ~start:(Value.int 0)
-      ~signature:(fun q ->
-        match q with
-        | Value.Int n when n < 6 ->
-            Sigs.make
-              ~input:(Action_set.of_list acts)
-              ~output:(if n >= 2 then Action_set.of_list [ ack ] else Action_set.empty)
-              ~internal:Action_set.empty
-        | _ -> Sigs.empty)
-      ~transition:(fun q a ->
-        match q with
-        | Value.Int n when n < 6 ->
-            if Action.equal a ack then Some (Vdist.dirac q)
-            else if List.exists (Action.equal a) acts then
-              Some (Vdist.dirac (Value.int (n + 1)))
-            else None
-        | _ -> None)
-  in
-  let wrapped =
-    Fault.compromise
-      ~adversarial:(Cdse_secure.Adversary.silent_takeover receiver)
-      receiver
-  in
-  let channel =
-    if seed mod 2 = 0 then Fault.lossy_channel ~cap:4 ~name:"ch" ~acts ()
-    else Fault.delay_channel ~cap:4 ~name:"ch" ~acts ()
-  in
-  let inj = Fault.injector ~faults:[ Fault.compromise_action "r" ] () in
-  Compose.pair inj (Fault.via ~channel ~acts sender wrapped)
-
+   whose takeover is put under scheduler control by an injector
+   (Cdse_gen.Workloads.faulty_channel, shared with the serve daemon's
+   model registry). [build] then meters channel faults and takeovers
+   together with [Fault.budget_sched], so the fault combinators are
+   exercised end to end through every engine. *)
 let build { seed; kind; sched; depth } =
   let rng = Rng.make seed in
   let auto =
@@ -124,7 +71,7 @@ let build { seed; kind; sched; depth } =
     | 2 ->
         Cdse_config.Pca.psioa
           (Cdse_gen.Random_pca.make ~rng ~n_members:3 ~faults:true ())
-    | _ -> faulty_channel_system seed
+    | _ -> Cdse_gen.Workloads.faulty_channel ~seed
   in
   let sched =
     match sched mod 3 with
@@ -578,6 +525,114 @@ let test_corpus_traced () =
           evs))
     (corpus ())
 
+(* ---------------------------------------------------------------- serve *)
+
+(* Replay the committed corpus through the cdse_serve daemon: every case
+   becomes a wire-level measure request carrying the same model/scheduler
+   *specification* that [build] elaborates locally (seed, kind, fault
+   budget, bound), and the decoded reply must be bit-identical — items,
+   rationals, tag, deficit — to the naive oracle. This closes the loop
+   between the conformance contract and the serving path: spec
+   elaboration, canonical cache keys, frontier reuse and the exact wire
+   codec all sit between the two sides being compared. *)
+
+module Sjson = Cdse_serve.Json
+
+let case_request case =
+  let num i = Sjson.Num (float_of_int i) in
+  let model =
+    match case.kind mod 4 with
+    | 0 ->
+        Sjson.Obj
+          [
+            ("kind", Sjson.Str "random_auto");
+            ("seed", num case.seed);
+            ("states", num 6);
+            ("actions", num 3);
+          ]
+    | 1 ->
+        Sjson.Obj
+          [
+            ("kind", Sjson.Str "random_pca");
+            ("seed", num case.seed);
+            ("members", num 3);
+          ]
+    | 2 ->
+        Sjson.Obj
+          [
+            ("kind", Sjson.Str "random_pca");
+            ("seed", num case.seed);
+            ("members", num 3);
+            ("faults", Sjson.Bool true);
+          ]
+    | _ -> Sjson.Obj [ ("kind", Sjson.Str "faulty_channel"); ("seed", num case.seed) ]
+  in
+  let sched =
+    Sjson.Obj
+      (("kind",
+        Sjson.Str
+          (match case.sched mod 3 with
+          | 0 -> "uniform"
+          | 1 -> "first_enabled"
+          | _ -> "round_robin"))
+      :: (if case.kind mod 4 = 3 then
+            [ ("fault_budget", num ((case.seed / 2) mod 3)) ]
+          else [])
+      @ [ ("bound", num case.depth) ])
+  in
+  [
+    ("op", Sjson.Str "measure");
+    ("model", model);
+    ("sched", sched);
+    ("depth", num case.depth);
+    ("domains", num (List.hd test_domains));
+  ]
+
+let test_serve_corpus () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cdse-conf-%d.sock" (Unix.getpid ()))
+  in
+  let server = Cdse_serve.Server.start ~workers:2 ~socket () in
+  Fun.protect
+    ~finally:(fun () -> Cdse_serve.Server.stop server)
+    (fun () ->
+      let client = Serve_client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve_client.close client)
+        (fun () ->
+          List.iter
+            (fun case ->
+              let reply = Serve_client.request client (case_request case) in
+              if not reply.Serve_client.r_ok then
+                Alcotest.failf "serve error for %s: %s" (print_case case)
+                  (Sjson.to_string reply.Serve_client.r_body);
+              let body = reply.Serve_client.r_body in
+              Alcotest.(check string)
+                (Printf.sprintf "exact tag for %s" (print_case case))
+                "exact"
+                (Serve_client.str (Serve_client.field "tag" body));
+              let served =
+                Cdse_serve.Codec.dist_of_json (Serve_client.field "dist" body)
+              in
+              let auto, sched, depth = build case in
+              let reference = Oracle.exec_dist auto sched ~depth in
+              let identical =
+                let i1 = Dist.items served and i2 = Dist.items reference in
+                List.length i1 = List.length i2
+                && List.for_all2
+                     (fun (e, p) (e', p') ->
+                       Exec.compare e e' = 0 && Rat.equal p p')
+                     i1 i2
+                && Rat.equal (Dist.deficit served) (Dist.deficit reference)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "daemon bit-identical to oracle for %s"
+                   (print_case case))
+                true identical)
+            (corpus ())))
+
 let () =
   Alcotest.run "conformance"
     [
@@ -606,5 +661,10 @@ let () =
           qtest prop_hcons_idempotent;
           qtest prop_hcons_phys_eq;
           qtest prop_hcons_exec_compare;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "replay corpus through the daemon" `Quick
+            test_serve_corpus;
         ] );
     ]

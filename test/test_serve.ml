@@ -1,0 +1,584 @@
+(* Protocol-level tests for the cdse_serve daemon.
+
+   Every test starts a fresh in-process server on its own temp socket and
+   talks to it through the blocking test client
+   (test/support/serve_client.ml), which shares no connection code with
+   the server. The load-bearing checks are differential: whatever the
+   daemon replies — cold, cached, or resumed from a shallower frontier —
+   must decode to a distribution bit-identical (items, order, rationals,
+   truncation tag and deficit) to an in-process [Measure.exec_dist] and,
+   for the deepening test, to the naive oracle. *)
+
+open Cdse_prob
+open Cdse_psioa
+open Cdse_sched
+open Cdse_testkit
+module Json = Cdse_serve.Json
+module Codec = Cdse_serve.Codec
+module Protocol = Cdse_serve.Protocol
+module Engine = Cdse_serve.Engine
+module Server = Cdse_serve.Server
+module Client = Serve_client
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Per-request domain count: 1 by default, CDSE_TEST_DOMAINS when the CI
+   leg asks for a multicore replay of the whole protocol battery. *)
+let test_domains =
+  match Option.bind (Sys.getenv_opt "CDSE_TEST_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 1
+
+let sock_counter = ref 0
+
+let fresh_socket () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cdse-t%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let with_server ?workers ?cache_cap ?max_queue f =
+  let socket = fresh_socket () in
+  let server = Server.start ?workers ?cache_cap ?max_queue ~socket () in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server socket)
+
+let with_client ?workers ?cache_cap ?max_queue f =
+  with_server ?workers ?cache_cap ?max_queue (fun server socket ->
+      let c = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f server c))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Request builders *)
+
+let model_coin = Json.Obj [ ("kind", Json.Str "coin") ]
+
+let model_walk span =
+  Json.Obj [ ("kind", Json.Str "random_walk"); ("span", Json.Num (float_of_int span)) ]
+
+let model_rauto seed =
+  Json.Obj
+    [
+      ("kind", Json.Str "random_auto");
+      ("seed", Json.Num (float_of_int seed));
+      ("states", Json.Num 5.);
+      ("actions", Json.Num 3.);
+    ]
+
+let sched_json ?fault_budget ?bound kind =
+  Json.Obj
+    (("kind", Json.Str kind)
+    :: (match fault_budget with
+       | Some k -> [ ("fault_budget", Json.Num (float_of_int k)) ]
+       | None -> [])
+    @ match bound with
+      | Some b -> [ ("bound", Json.Num (float_of_int b)) ]
+      | None -> [])
+
+let measure_fields ?(compress = "off") ?max_execs ?max_width ~model ~sched
+    ~depth () =
+  [
+    ("op", Json.Str "measure");
+    ("model", model);
+    ("sched", sched);
+    ("depth", Json.Num (float_of_int depth));
+    ("compress", Json.Str compress);
+    ("domains", Json.Num (float_of_int test_domains));
+  ]
+  @ (match max_execs with
+    | Some n -> [ ("max_execs", Json.Num (float_of_int n)) ]
+    | None -> [])
+  @
+  match max_width with
+  | Some n -> [ ("max_width", Json.Num (float_of_int n)) ]
+  | None -> []
+
+(* Reply dissection *)
+
+let expect_ok (r : Client.reply) =
+  if not r.Client.r_ok then
+    Alcotest.failf "expected ok reply, got error: %s" (Json.to_string r.Client.r_body);
+  r.Client.r_body
+
+let expect_error (r : Client.reply) =
+  if r.Client.r_ok then
+    Alcotest.failf "expected error reply, got: %s" (Json.to_string r.Client.r_body);
+  r.Client.r_body
+
+let dist_of_result body = Codec.dist_of_json (Client.field "dist" body)
+
+let items_identical d1 d2 =
+  let i1 = Dist.items d1 and i2 = Dist.items d2 in
+  List.length i1 = List.length i2
+  && List.for_all2
+       (fun (e, p) (e', p') -> Exec.compare e e' = 0 && Rat.equal p p')
+       i1 i2
+
+let check_identical what served expected =
+  Alcotest.(check bool)
+    (what ^ ": served distribution bit-identical to in-process")
+    true
+    (items_identical served expected
+    && Rat.equal (Dist.deficit served) (Dist.deficit expected))
+
+(* ------------------------------------------------------------ round trips *)
+
+let test_ping_pong () =
+  with_client (fun _ c ->
+      let body = expect_ok (Client.ping c) in
+      Alcotest.(check string) "pong" "pong" (Client.str body))
+
+let test_measure_roundtrip () =
+  with_client (fun _ c ->
+      let r =
+        expect_ok
+          (Client.request c
+             (measure_fields ~model:model_coin ~sched:(sched_json "uniform")
+                ~depth:3 ()))
+      in
+      Alcotest.(check string) "exact tag" "exact" (Client.str (Client.field "tag" r));
+      Alcotest.(check string) "no loss" "0" (Client.str (Client.field "lost" r));
+      let auto = Cdse_gen.Workloads.coin ~p:Rat.half "c" in
+      check_identical "coin depth 3" (dist_of_result r)
+        (Measure.exec_dist ~domains:test_domains auto (Scheduler.uniform auto)
+           ~depth:3))
+
+let test_reach_roundtrip () =
+  with_client (fun _ c ->
+      let auto = Cdse_gen.Workloads.coin ~p:Rat.half "c" in
+      let sched = Scheduler.uniform auto in
+      let dist = Measure.exec_dist auto sched ~depth:3 in
+      (* Target: the last state of the first completed execution. *)
+      let target = Exec.lstate (fst (List.hd (Dist.items dist))) in
+      let expected =
+        Dist.fold
+          (fun acc e p ->
+            if List.exists (Value.equal target) (Exec.states e) then
+              Rat.add acc p
+            else acc)
+          Rat.zero dist
+      in
+      let r =
+        expect_ok
+          (Client.request c
+             (( "state",
+                Json.Str (Cdse_util.Bits.to_string (Value.to_bits target)) )
+             :: ("op", Json.Str "reach")
+             :: List.remove_assoc "op"
+                  (measure_fields ~model:model_coin
+                     ~sched:(sched_json "uniform") ~depth:3 ())))
+      in
+      Alcotest.(check string)
+        "reach probability exact" (Rat.to_string expected)
+        (Client.str (Client.field "prob" r)))
+
+let test_emulate_roundtrip () =
+  with_client (fun _ c ->
+      let r =
+        expect_ok
+          (Client.request c
+             [
+               ("op", Json.Str "emulate");
+               ("protocol", Json.Str "channel");
+               ("broken", Json.Bool false);
+             ])
+      in
+      (match Client.field "holds" r with
+      | Json.Bool true -> ()
+      | j -> Alcotest.failf "secure channel should emulate: %s" (Json.to_string j));
+      Alcotest.(check string) "zero distance" "0"
+        (Client.str (Client.field "worst" r));
+      let r =
+        expect_ok
+          (Client.request c
+             [
+               ("op", Json.Str "emulate");
+               ("protocol", Json.Str "channel");
+               ("broken", Json.Bool true);
+             ])
+      in
+      match Client.field "holds" r with
+      | Json.Bool false -> ()
+      | j -> Alcotest.failf "leaky channel should not emulate: %s" (Json.to_string j))
+
+(* ------------------------------------------------------- malformed input *)
+
+let test_malformed_requests () =
+  with_client (fun _ c ->
+      let error_field fields =
+        let e = expect_error (Client.request c fields) in
+        ( Client.str (Client.field "kind" e),
+          Client.str (Client.field "field" e) )
+      in
+      (* Unparseable JSON: the id is unrecoverable, the reply says so. *)
+      Client.send_line c "this is not json";
+      let r = Client.reply_of_line (Client.recv_line c) in
+      Alcotest.(check bool) "garbage: error reply" false r.Client.r_ok;
+      Alcotest.(check bool) "garbage: id is null" true (r.Client.r_id = None);
+      Alcotest.(check string) "garbage: protocol kind" "protocol"
+        (Client.str (Client.field "kind" r.Client.r_body));
+      (* Structured failures name the offending field. *)
+      Alcotest.(check (pair string string))
+        "unknown op" ("protocol", "op")
+        (error_field [ ("op", Json.Str "frobnicate") ]);
+      Alcotest.(check (pair string string))
+        "missing model" ("protocol", "model")
+        (error_field [ ("op", Json.Str "measure") ]);
+      Alcotest.(check (pair string string))
+        "bad model kind" ("protocol", "model.kind")
+        (error_field
+           [
+             ("op", Json.Str "measure");
+             ("model", Json.Obj [ ("kind", Json.Str "nope") ]);
+           ]);
+      Alcotest.(check (pair string string))
+        "bad depth" ("protocol", "depth")
+        (error_field
+           [
+             ("op", Json.Str "measure");
+             ("model", model_coin);
+             ("sched", sched_json "uniform");
+             ("depth", Json.Str "three");
+           ]);
+      (* The connection survives every rejected request. *)
+      let body = expect_ok (Client.ping c) in
+      Alcotest.(check string) "connection still usable" "pong" (Client.str body))
+
+let test_exception_printers () =
+  let rendered_p =
+    Printexc.to_string
+      (Server.Protocol_error
+         { id = Some 7; field = "model.kind"; msg = "unknown model kind" })
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Protocol_error printer mentions %S" sub)
+        true
+        (contains ~sub rendered_p))
+    [ "Protocol_error"; "id 7"; "model.kind"; "unknown model kind"; "resend" ];
+  let rendered_o =
+    Printexc.to_string
+      (Server.Overloaded { id = Some 42; queue_depth = 64; cap = 64 })
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Overloaded printer mentions %S" sub)
+        true
+        (contains ~sub rendered_o))
+    [ "Overloaded"; "id 42"; "64"; "--max-queue" ]
+
+(* ------------------------------------------------------------- cache hits *)
+
+let test_cache_hit_bit_identity () =
+  with_client (fun _ c ->
+      let fields =
+        measure_fields ~model:(model_rauto 1234) ~sched:(sched_json "uniform")
+          ~depth:4 ()
+      in
+      let cold = expect_ok (Client.request c fields) in
+      let warm = expect_ok (Client.request c fields) in
+      Alcotest.(check bool) "cold is uncached" false
+        (Client.field "cached" cold = Json.Bool true);
+      Alcotest.(check bool) "warm is cached" true
+        (Client.field "cached" warm = Json.Bool true);
+      (* The cached reply must be byte-for-byte the cold one (same dist,
+         same tag, same deficit). *)
+      Alcotest.(check string)
+        "identical rendering"
+        (Json.to_string (Client.field "dist" cold))
+        (Json.to_string (Client.field "dist" warm));
+      Alcotest.(check string) "identical tag"
+        (Client.str (Client.field "tag" cold))
+        (Client.str (Client.field "tag" warm));
+      let rng = Rng.make 1234 in
+      let auto =
+        Cdse_gen.Random_auto.make ~rng ~name:"ca" ~n_states:5 ~n_actions:3 ()
+      in
+      check_identical "warm vs in-process" (dist_of_result warm)
+        (Measure.exec_dist auto (Scheduler.uniform auto) ~depth:4))
+
+let test_budgeted_cache_hit () =
+  with_client (fun _ c ->
+      let fields =
+        measure_fields ~max_execs:3 ~model:(model_rauto 99)
+          ~sched:(sched_json "uniform") ~depth:4 ()
+      in
+      let cold = expect_ok (Client.request c fields) in
+      let warm = expect_ok (Client.request c fields) in
+      let rng = Rng.make 99 in
+      let auto =
+        Cdse_gen.Random_auto.make ~rng ~name:"ca" ~n_states:5 ~n_actions:3 ()
+      in
+      let tag, lost =
+        match
+          Measure.exec_dist_budgeted ~max_execs:3 auto (Scheduler.uniform auto)
+            ~depth:4
+        with
+        | `Exact _ -> ("exact", Rat.zero)
+        | `Truncated (_, l) -> ("truncated", l)
+      in
+      List.iter
+        (fun (name, reply) ->
+          Alcotest.(check string)
+            (name ^ ": tag matches in-process")
+            tag
+            (Client.str (Client.field "tag" reply));
+          Alcotest.(check string)
+            (name ^ ": lost mass matches in-process")
+            (Rat.to_string lost)
+            (Client.str (Client.field "lost" reply)))
+        [ ("cold", cold); ("warm", warm) ];
+      Alcotest.(check bool) "warm is cached" true
+        (Client.field "cached" warm = Json.Bool true);
+      Alcotest.(check string) "identical rendering"
+        (Json.to_string (Client.field "dist" cold))
+        (Json.to_string (Client.field "dist" warm)))
+
+(* ---------------------------------------------------- incremental deepening *)
+
+(* Serve depth d, then d + k on the same line: the daemon must report the
+   resume and the result must be bit-identical to a one-shot in-process
+   measure AND to the naive oracle at d + k. *)
+let test_incremental_deepening () =
+  with_client (fun _ c ->
+      List.iter
+        (fun (name, model_json, build) ->
+          let fields depth =
+            measure_fields ~model:model_json ~sched:(sched_json "uniform")
+              ~depth ()
+          in
+          let shallow = expect_ok (Client.request c (fields 3)) in
+          Alcotest.(check bool)
+            (name ^ ": shallow run is from scratch")
+            true
+            (Client.field "resumed_from" shallow = Json.Null);
+          let deep = expect_ok (Client.request c (fields 6)) in
+          Alcotest.(check int)
+            (name ^ ": deep run resumed from the cached depth-3 frontier")
+            3
+            (Client.int (Client.field "resumed_from" deep));
+          let auto = build () in
+          let sched = Scheduler.uniform auto in
+          check_identical
+            (name ^ ": resumed vs one-shot")
+            (dist_of_result deep)
+            (Measure.exec_dist ~domains:test_domains auto sched ~depth:6);
+          check_identical
+            (name ^ ": resumed vs oracle")
+            (dist_of_result deep)
+            (Oracle.exec_dist auto sched ~depth:6))
+        [
+          ( "walk",
+            model_walk 4,
+            fun () -> Cdse_gen.Workloads.random_walk ~span:4 "w" );
+          ( "rauto",
+            model_rauto 77,
+            fun () ->
+              Cdse_gen.Random_auto.make ~rng:(Rng.make 77) ~name:"ca"
+                ~n_states:5 ~n_actions:3 () );
+        ])
+
+(* ------------------------------------------------------- cache soundness *)
+
+(* qcheck property against the socket-free Engine with a tiny cache: any
+   interleaving of models, depths and compression modes — with LRU
+   eviction constantly kicking entries and frontiers out — must answer
+   every query bit-identically to a fresh in-process measure. This is the
+   property that rules out stale entries, cross-model or cross-compress
+   key collisions, and unsound frontier reuse. *)
+let prop_cache_sound =
+  let open QCheck in
+  let query_of (m, s, depth, comp) : Protocol.query =
+    let q_model : Protocol.model =
+      match m mod 4 with
+      | 0 -> Protocol.Coin { p = Rat.half }
+      | 1 -> Protocol.Random_walk { span = 3 }
+      | 2 -> Protocol.Counter { bound = 3 }
+      | _ ->
+          Protocol.Random_auto
+            { seed = 7 * (m mod 2); states = 4; actions = 3; branching = 2 }
+    in
+    {
+      Protocol.q_model;
+      q_sched =
+        {
+          Protocol.s_kind =
+            (match s mod 3 with
+            | 0 -> Protocol.Uniform
+            | 1 -> Protocol.First_enabled
+            | _ -> Protocol.Round_robin);
+          s_fault_budget = None;
+          s_bound = None;
+        };
+      q_depth = depth mod 5;
+      q_compress = (if comp mod 2 = 0 then `Off else `Hcons);
+      q_engine = `Auto;
+      q_domains = Some test_domains;
+      q_memo = false;
+      q_max_execs = None;
+      q_max_width = None;
+    }
+  in
+  Test.make ~count:30 ~name:"serve cache: any interleaving answers fresh"
+    (list_of_size Gen.(int_range 1 12)
+       (quad (int_bound 7) (int_bound 5) (int_bound 6) (int_bound 1)))
+    (fun ops ->
+      let engine = Engine.create ~cache_cap:4 ~domains:test_domains () in
+      List.for_all
+        (fun op ->
+          let q = query_of op in
+          let served = (Engine.measure engine q).Engine.m_dist in
+          let auto = Protocol.build_model q.Protocol.q_model in
+          let sched = Protocol.build_sched auto q.Protocol.q_sched in
+          let fresh =
+            Measure.exec_dist ~compress:q.Protocol.q_compress auto sched
+              ~depth:q.Protocol.q_depth
+          in
+          items_identical served fresh)
+        ops)
+
+(* --------------------------------------------------------- concurrency *)
+
+(* Four clients fire the same query mix in different orders against a
+   2-worker server; every reply must be bit-identical to the in-process
+   reference regardless of which requests hit cache, resumed, or raced. *)
+let test_concurrent_clients () =
+  with_server ~workers:2 (fun _ socket ->
+      let specs =
+        [
+          (model_rauto 5, 3);
+          (model_walk 4, 4);
+          (model_rauto 5, 5);
+          (model_coin, 3);
+          (model_rauto 5, 3);
+        ]
+      in
+      let in_process (m, depth) =
+        let auto =
+          match Json.member "kind" m with
+          | Some (Json.Str "coin") -> Cdse_gen.Workloads.coin ~p:Rat.half "c"
+          | Some (Json.Str "random_walk") ->
+              Cdse_gen.Workloads.random_walk ~span:4 "w"
+          | _ ->
+              Cdse_gen.Random_auto.make ~rng:(Rng.make 5) ~name:"ca"
+                ~n_states:5 ~n_actions:3 ()
+        in
+        Measure.exec_dist auto (Scheduler.uniform auto) ~depth
+      in
+      let expected = List.map in_process specs in
+      let failures = Atomic.make 0 in
+      let client_thread rot =
+        let c = Client.connect socket in
+        Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+            let order =
+              (* Rotate the query list so clients interleave differently. *)
+              let rec rot_n n l =
+                if n = 0 then l
+                else match l with [] -> [] | x :: tl -> rot_n (n - 1) (tl @ [ x ])
+              in
+              rot_n rot (List.combine specs expected)
+            in
+            List.iter
+              (fun (((m, depth) as _spec), exp) ->
+                let r =
+                  Client.request c
+                    (measure_fields ~model:m ~sched:(sched_json "uniform")
+                       ~depth ())
+                in
+                if not r.Client.r_ok then Atomic.incr failures
+                else if
+                  not (items_identical (dist_of_result r.Client.r_body) exp)
+                then Atomic.incr failures)
+              order)
+      in
+      let threads = List.init 4 (fun i -> Thread.create client_thread i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "all concurrent replies bit-identical" 0
+        (Atomic.get failures))
+
+(* ----------------------------------------------------------- shutdown *)
+
+let test_shutdown_drains () =
+  let socket = fresh_socket () in
+  let server = Server.start ~workers:2 ~socket () in
+  let a = Client.connect socket in
+  let b = Client.connect socket in
+  (* Pipeline three measures on A without reading, so at least two are
+     queued or in-flight when the shutdown lands. *)
+  let fields depth =
+    measure_fields ~model:(model_rauto 3) ~sched:(sched_json "uniform") ~depth ()
+  in
+  List.iteri
+    (fun i depth ->
+      Client.send_line a
+        (Json.to_string
+           (Json.Obj (("id", Json.Num (float_of_int (100 + i))) :: fields depth))))
+    [ 4; 5; 6 ];
+  (* First reply means the daemon's reader has long since enqueued the
+     rest (it reads the whole pipeline before the first measure finishes);
+     a short grace beat keeps the race theoretical. *)
+  let first = Client.reply_of_line (Client.recv_line a) in
+  Alcotest.(check bool) "first pipelined reply ok" true first.Client.r_ok;
+  Thread.delay 0.1;
+  let bye = expect_ok (Client.shutdown b) in
+  Alcotest.(check string) "shutdown acknowledged" "bye" (Client.str bye);
+  (* The drain guarantee: both remaining pipelined requests still reply. *)
+  let remaining = List.map (fun _ -> Client.reply_of_line (Client.recv_line a)) [ (); () ] in
+  List.iter
+    (fun (r : Client.reply) ->
+      Alcotest.(check bool) "drained reply ok" true r.Client.r_ok)
+    remaining;
+  Client.close a;
+  Client.close b;
+  Server.wait server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket);
+  (match Client.connect ~retries:0 socket with
+  | c ->
+      Client.close c;
+      Alcotest.fail "connect after shutdown should fail"
+  | exception Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------- runner *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping round-trip" `Quick test_ping_pong;
+          Alcotest.test_case "measure round-trip" `Quick test_measure_roundtrip;
+          Alcotest.test_case "reach round-trip" `Quick test_reach_roundtrip;
+          Alcotest.test_case "emulate round-trip" `Quick test_emulate_roundtrip;
+          Alcotest.test_case "malformed requests get error replies" `Quick
+            test_malformed_requests;
+          Alcotest.test_case "exception printers" `Quick test_exception_printers;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cache hit is bit-identical" `Quick
+            test_cache_hit_bit_identity;
+          Alcotest.test_case "budgeted results cache tag and deficit" `Quick
+            test_budgeted_cache_hit;
+          qtest prop_cache_sound;
+        ] );
+      ( "deepening",
+        [
+          Alcotest.test_case "depth d then d+k equals one-shot" `Quick
+            test_incremental_deepening;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "concurrent clients, identical answers" `Quick
+            test_concurrent_clients;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "shutdown drains in-flight requests" `Quick
+            test_shutdown_drains;
+        ] );
+    ]
